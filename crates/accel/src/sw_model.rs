@@ -1,0 +1,431 @@
+//! Software communication models: SUOpt, SAOpt and vanilla SA (paper §8.1).
+//!
+//! The paper compares NetSparse against *idealized* software baselines:
+//!
+//! - **SUOpt**: communication time is just the bytes each node receives
+//!   under the dense all-to-all property exchange, at 100 % line rate with
+//!   no headers and no latency — the performance limit of the
+//!   sparsity-unaware approach.
+//! - **SAOpt**: the SA algorithm augmented with the Conveyors framework:
+//!   idxs are batched per destination in software, pre-filtered per core
+//!   (threads map to distinct ranks, so duplicates across cores survive),
+//!   and shipped as aggregated messages. Only the software costs of PR
+//!   generation / book-keeping / synchronization are charged, calibrated
+//!   against the paper's Figure 10 single-node measurement.
+//! - **Vanilla SA**: the unbatched one-PR-per-RDMA-read flow of §2.3,
+//!   whose measured 2-node transfer rates motivate the work (Table 2).
+//!
+//! Calibration constants live on the model structs with the observation
+//! they reproduce.
+
+use netsparse_sparse::CommWorkload;
+#[cfg(test)]
+use netsparse_sparse::Partition1D;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The SUOpt baseline: optimal sparsity-unaware communication.
+///
+/// # Example
+///
+/// ```
+/// use netsparse_accel::SuOptModel;
+/// let m = SuOptModel::new(400.0);
+/// // A node receiving 1 M remote properties of 64 B at 400 Gbps:
+/// let t = m.comm_time(1_000_000, 16);
+/// assert!((t - 1.28e-3).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuOptModel {
+    /// Network line rate in Gbps.
+    pub line_rate_gbps: f64,
+}
+
+impl SuOptModel {
+    /// Creates the model for a given line rate.
+    pub fn new(line_rate_gbps: f64) -> Self {
+        SuOptModel { line_rate_gbps }
+    }
+
+    /// Seconds for a node to receive `properties_received` properties of
+    /// `k` 4-byte elements at full line rate, no headers, no latency.
+    pub fn comm_time(&self, properties_received: u64, k: u32) -> f64 {
+        let bits = properties_received as f64 * 4.0 * k as f64 * 8.0;
+        bits / (self.line_rate_gbps * 1e9)
+    }
+
+    /// The kernel's communication time: the slowest node's receive time.
+    /// Under SU every node receives all remotely owned properties, so this
+    /// is simply the maximum per-node `su_received`.
+    pub fn kernel_comm_time(&self, wl: &CommWorkload, k: u32) -> f64 {
+        let stats = wl.pattern_stats();
+        stats
+            .per_node
+            .iter()
+            .map(|n| self.comm_time(n.su_received, k))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The SAOpt baseline: Conveyors-augmented sparsity-aware software.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaOptModel {
+    /// Network line rate in Gbps.
+    pub line_rate_gbps: f64,
+    /// CPU cores per node devoted to communication (paper: all 64).
+    pub cores: u32,
+    /// Per-PR software cost per core, nanoseconds. Calibrated so 64 cores
+    /// sustain ~10 % goodput at K=32 (Figure 10's ceiling) and the Table 7
+    /// "Gput SA" column lands in its 1–11 % range.
+    pub per_pr_ns: f64,
+}
+
+impl SaOptModel {
+    /// The paper's configuration: 400 Gbps, 64 cores.
+    pub fn paper() -> Self {
+        SaOptModel {
+            line_rate_gbps: 400.0,
+            cores: 64,
+            per_pr_ns: 1_600.0,
+        }
+    }
+
+    /// Aggregate PR generation rate (PRs/second) with `cores` cores.
+    pub fn pr_rate(&self, cores: u32) -> f64 {
+        cores as f64 / (self.per_pr_ns * 1e-9)
+    }
+
+    /// Figure 10: goodput as a fraction of the line rate for `cores`
+    /// cores and `k`-element properties, under perfectly balanced
+    /// single-node communication.
+    pub fn goodput_fraction(&self, cores: u32, k: u32) -> f64 {
+        let payload_bits = 4.0 * k as f64 * 8.0;
+        let bps = self.pr_rate(cores) * payload_bits;
+        (bps / (self.line_rate_gbps * 1e9)).min(1.0)
+    }
+
+    /// PRs a node must generate under SAOpt: work is distributed to cores
+    /// row by row (row `r` goes to core `r % cores`, the usual OpenMP-style
+    /// interleaving), and each core pre-filters its *own* duplicates
+    /// (offline and free, per the paper's optimistic assumption).
+    /// Duplicates across cores survive because Conveyors maps threads to
+    /// distinct ranks and cross-rank filtering is not possible — the reason
+    /// Table 7 reports several-fold more PRs for SAOpt than for NetSparse.
+    pub fn node_pr_count(&self, wl: &CommWorkload, node: u32) -> u64 {
+        let stream = wl.stream(node);
+        let cores = self.cores.max(1) as usize;
+        // Approximate one matrix row as stream_len / rows contiguous idxs.
+        let row_len = (stream.len() / wl.rows_of(node).max(1) as usize).max(1);
+        let mut seen: Vec<HashSet<u32>> = vec![HashSet::new(); cores];
+        let mut total = 0u64;
+        for (row, slice) in stream.chunks(row_len).enumerate() {
+            let core = row % cores;
+            for &idx in slice {
+                if wl.owner(idx) != node && seen[core].insert(idx) {
+                    total += 1;
+                }
+            }
+        }
+        total
+    }
+
+    /// Seconds of communication for `node`: the larger of the software
+    /// bound (PRs / aggregate rate) and the optimal wire bound (payload
+    /// bytes at full line rate; Conveyors aggregation makes headers
+    /// negligible and the model charges no network latency).
+    pub fn node_comm_time(&self, wl: &CommWorkload, node: u32, k: u32) -> f64 {
+        let prs = self.node_pr_count(wl, node);
+        let sw = prs as f64 / self.pr_rate(self.cores);
+        let wire = prs as f64 * 4.0 * k as f64 * 8.0 / (self.line_rate_gbps * 1e9);
+        sw.max(wire)
+    }
+
+    /// The kernel's communication time: the slowest node.
+    pub fn kernel_comm_time(&self, wl: &CommWorkload, k: u32) -> f64 {
+        (0..wl.nodes())
+            .map(|p| self.node_comm_time(wl, p, k))
+            .fold(0.0, f64::max)
+    }
+
+    /// The tail node's achieved goodput fraction (Table 7, "Gput SA").
+    pub fn tail_goodput(&self, wl: &CommWorkload, k: u32) -> f64 {
+        let (mut worst_t, mut worst_prs) = (0.0f64, 0u64);
+        for p in 0..wl.nodes() {
+            let t = self.node_comm_time(wl, p, k);
+            if t > worst_t {
+                worst_t = t;
+                worst_prs = self.node_pr_count(wl, p);
+            }
+        }
+        if worst_t == 0.0 {
+            return 0.0;
+        }
+        let bits = worst_prs as f64 * 4.0 * k as f64 * 8.0;
+        bits / worst_t / (self.line_rate_gbps * 1e9)
+    }
+}
+
+impl Default for SaOptModel {
+    fn default() -> Self {
+        SaOptModel::paper()
+    }
+}
+
+/// A Two-Face-style hybrid software baseline (the paper's reference [11]):
+/// *popular* columns — needed by many nodes — are broadcast SU-style
+/// (collectives are efficient when everyone wants the data anyway), while
+/// the long tail is fetched sparsity-aware through the Conveyors model.
+///
+/// This is the strongest software scheme the paper positions against; it
+/// is not in the paper's evaluation, so `ext_hybrid` reports it as an
+/// extension. The popularity threshold is swept and the best value taken
+/// (an idealized, oracle-tuned hybrid).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridOptModel {
+    /// The SA side (Conveyors) of the hybrid.
+    pub sa: SaOptModel,
+}
+
+impl HybridOptModel {
+    /// Builds the hybrid over a configured SAOpt model.
+    pub fn new(sa: SaOptModel) -> Self {
+        HybridOptModel { sa }
+    }
+
+    /// Kernel communication time with an oracle-chosen popularity
+    /// threshold: columns needed by more than `threshold` nodes are
+    /// broadcast; the rest go through SA. Returns the best time over a
+    /// sweep of thresholds (including "broadcast nothing").
+    pub fn kernel_comm_time(&self, wl: &CommWorkload, k: u32) -> f64 {
+        let mut best = f64::INFINITY;
+        for threshold in [u32::MAX, 128, 64, 32, 16, 8, 4, 2] {
+            best = best.min(self.comm_time_at(wl, k, threshold));
+        }
+        best
+    }
+
+    /// Communication time for one specific popularity threshold.
+    pub fn comm_time_at(&self, wl: &CommWorkload, k: u32, threshold: u32) -> f64 {
+        // Count, per column, how many distinct nodes need it remotely.
+        let mut requesters: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut per_node_unique: Vec<HashSet<u32>> = Vec::with_capacity(wl.nodes() as usize);
+        for p in 0..wl.nodes() {
+            let mut uniq = HashSet::new();
+            for &idx in wl.stream(p) {
+                if wl.owner(idx) != p && uniq.insert(idx) {
+                    *requesters.entry(idx).or_insert(0) += 1;
+                }
+            }
+            per_node_unique.push(uniq);
+        }
+        let popular: HashSet<u32> = requesters
+            .iter()
+            .filter(|(_, &c)| c > threshold)
+            .map(|(&idx, _)| idx)
+            .collect();
+        let bits_per_prop = 4.0 * k as f64 * 8.0;
+        let line = self.sa.line_rate_gbps * 1e9;
+
+        let mut worst = 0.0f64;
+        for p in 0..wl.nodes() {
+            // Broadcast side: every node receives every remotely owned
+            // popular column at full line rate (SU-optimal assumptions).
+            let pop_remote = popular.iter().filter(|&&idx| wl.owner(idx) != p).count() as f64;
+            // SA side: the node's tail columns through Conveyors, with
+            // the same per-core prefiltering as SAOpt but restricted to
+            // non-popular columns.
+            let sa_prs = self.sa_side_pr_count(wl, p, &popular);
+            let sw = sa_prs as f64 / self.sa.pr_rate(self.sa.cores);
+            let wire = (pop_remote + sa_prs as f64) * bits_per_prop / line;
+            worst = worst.max(sw.max(wire));
+        }
+        worst
+    }
+
+    fn sa_side_pr_count(&self, wl: &CommWorkload, node: u32, popular: &HashSet<u32>) -> u64 {
+        let stream = wl.stream(node);
+        let cores = self.sa.cores.max(1) as usize;
+        let row_len = (stream.len() / wl.rows_of(node).max(1) as usize).max(1);
+        let mut seen: Vec<HashSet<u32>> = vec![HashSet::new(); cores];
+        let mut total = 0u64;
+        for (row, slice) in stream.chunks(row_len).enumerate() {
+            let core = row % cores;
+            for &idx in slice {
+                if wl.owner(idx) != node && !popular.contains(&idx) && seen[core].insert(idx) {
+                    total += 1;
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Vanilla (unbatched) SA: one RDMA read per nonzero, host-driven.
+///
+/// Table 2 measures its 2-node transfer rate at 0.2–0.7 Gbps depending on
+/// the matrix; the dominant variable is how scattered consecutive PR
+/// destinations are (more destinations → worse batching in the NIC
+/// doorbell path and worse cache behaviour). The model charges a base
+/// per-PR cost plus a destination-spread penalty.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VanillaSaModel {
+    /// Base serialized per-PR software cost, nanoseconds.
+    pub base_ns: f64,
+    /// Additional cost per unique destination in a 64-PR window, ns.
+    pub per_dest_ns: f64,
+    /// Network line rate in Gbps.
+    pub line_rate_gbps: f64,
+}
+
+impl VanillaSaModel {
+    /// Constants calibrated against Table 2 (queen 0.7 Gbps, europe
+    /// 0.2 Gbps at K=32 on 100 Gbps-class Slingshot).
+    pub fn paper() -> Self {
+        VanillaSaModel {
+            base_ns: 1_110.0,
+            per_dest_ns: 350.0,
+            line_rate_gbps: 200.0,
+        }
+    }
+
+    /// Achieved transfer rate in Gbps for `k`-element properties given the
+    /// workload's Table 4 destination-locality statistic.
+    pub fn transfer_rate_gbps(&self, k: u32, window_dests: f64) -> f64 {
+        let per_pr_ns = self.base_ns + self.per_dest_ns * window_dests;
+        let bits = 4.0 * k as f64 * 8.0;
+        bits / per_pr_ns // bits per ns == Gbps
+    }
+
+    /// Line utilization fraction (Table 2, second row).
+    pub fn line_utilization(&self, k: u32, window_dests: f64) -> f64 {
+        self.transfer_rate_gbps(k, window_dests) / self.line_rate_gbps
+    }
+
+    /// Goodput fraction of the line rate (Table 2, third row): utilization
+    /// discounted by the per-K header fraction.
+    pub fn goodput(&self, k: u32, window_dests: f64, header_fraction: f64) -> f64 {
+        self.line_utilization(k, window_dests) * (1.0 - header_fraction)
+    }
+}
+
+impl Default for VanillaSaModel {
+    fn default() -> Self {
+        VanillaSaModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsparse_sparse::Partition1D;
+
+    fn two_node_wl() -> CommWorkload {
+        let part = Partition1D::even(64, 2);
+        // Node 0: eight remote refs, four unique; node 1: all local.
+        let s0 = vec![32, 33, 32, 34, 35, 33, 32, 34, 1, 2];
+        let s1 = vec![40, 41];
+        CommWorkload::from_streams(part, vec![32, 32], vec![s0, s1])
+    }
+
+    #[test]
+    fn suopt_charges_all_remote_properties() {
+        let wl = two_node_wl();
+        let m = SuOptModel::new(400.0);
+        let t = m.kernel_comm_time(&wl, 16);
+        // Each node receives 32 remote properties of 64 B.
+        let expect = 32.0 * 64.0 * 8.0 / 400e9;
+        assert!((t - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn saopt_prefilters_per_core() {
+        let wl = two_node_wl();
+        let mut m = SaOptModel::paper();
+        m.cores = 1;
+        // One core: perfect per-node filtering -> 4 unique PRs.
+        assert_eq!(m.node_pr_count(&wl, 0), 4);
+        m.cores = 2;
+        // Rows (one idx each here) interleave across cores: core 0 sees
+        // {32, 35} among its remote refs, core 1 sees {33, 34} -> 4 total.
+        assert_eq!(m.node_pr_count(&wl, 0), 4);
+        assert_eq!(m.node_pr_count(&wl, 1), 0);
+        // Fewer rows per core than duplicates: duplicates now split across
+        // cores and survive. 10 idxs over 2 rows of 5 -> row 0 and row 1
+        // on different cores, idx 32 counted on both.
+        let part = netsparse_sparse::Partition1D::even(64, 2);
+        let wl2 = CommWorkload::from_streams(
+            part,
+            vec![2, 2],
+            vec![vec![32, 33, 34, 35, 36, 32, 33, 34, 35, 36], vec![]],
+        );
+        assert_eq!(m.node_pr_count(&wl2, 0), 10);
+    }
+
+    #[test]
+    fn saopt_goodput_scales_with_cores_and_k() {
+        let m = SaOptModel::paper();
+        assert!(m.goodput_fraction(64, 32) > m.goodput_fraction(8, 32));
+        assert!(m.goodput_fraction(64, 128) > m.goodput_fraction(64, 32));
+        // Calibration anchor: 64 cores at K=32 sits near 10 %.
+        let g = m.goodput_fraction(64, 32);
+        assert!((0.05..0.2).contains(&g), "goodput {g}");
+        // Never above the line rate.
+        assert!(m.goodput_fraction(10_000, 256) <= 1.0);
+    }
+
+    #[test]
+    fn saopt_kernel_time_is_tail_node() {
+        let wl = two_node_wl();
+        let m = SaOptModel::paper();
+        let t = m.kernel_comm_time(&wl, 16);
+        assert!((t - m.node_comm_time(&wl, 0, 16)).abs() < 1e-18);
+        assert!(m.tail_goodput(&wl, 16) > 0.0);
+    }
+
+    #[test]
+    fn hybrid_never_loses_to_pure_sa_or_pure_broadcast() {
+        let wl = two_node_wl();
+        let sa = SaOptModel::paper();
+        let hybrid = HybridOptModel::new(sa);
+        let t_hybrid = hybrid.kernel_comm_time(&wl, 16);
+        let t_sa = sa.kernel_comm_time(&wl, 16);
+        // threshold MAX = pure SA is inside the sweep.
+        assert!(t_hybrid <= t_sa + 1e-15);
+        // Pure broadcast (threshold 0-ish) is approximated by threshold 2
+        // here; the oracle sweep can only improve on any fixed point.
+        let t_bcast = hybrid.comm_time_at(&wl, 16, 2);
+        assert!(t_hybrid <= t_bcast + 1e-15);
+    }
+
+    #[test]
+    fn hybrid_broadcasts_hot_columns() {
+        // Column 32 needed by three nodes; 48 by one. With threshold 2,
+        // only 32 is broadcast.
+        let part = Partition1D::even(64, 4);
+        let wl = CommWorkload::from_streams(
+            part,
+            vec![16; 4],
+            vec![vec![32, 48], vec![32], vec![32], vec![]],
+        );
+        let hybrid = HybridOptModel::new(SaOptModel::paper());
+        // Pure SA charges 5 PRs; threshold-2 hybrid charges the
+        // broadcast of one column to 3 non-owners + 2 SA PRs.
+        let t2 = hybrid.comm_time_at(&wl, 16, 2);
+        let t_sa = hybrid.comm_time_at(&wl, 16, u32::MAX);
+        assert!(t2 <= t_sa);
+    }
+
+    #[test]
+    fn vanilla_sa_rates_match_table2_shape() {
+        let m = VanillaSaModel::paper();
+        // queen (1.0 dests) transfers faster than europe (7.43 dests).
+        let queen = m.transfer_rate_gbps(32, 1.0);
+        let europe = m.transfer_rate_gbps(32, 7.43);
+        assert!(queen > europe);
+        // Absolute range: a few tenths of a Gbps (Table 2: 0.2–0.7).
+        assert!((0.1..1.5).contains(&queen), "queen {queen}");
+        assert!((0.05..0.5).contains(&europe), "europe {europe}");
+        // Line utilization well under 1 %.
+        assert!(m.line_utilization(32, 2.51) < 0.01);
+    }
+}

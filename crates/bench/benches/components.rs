@@ -1,0 +1,195 @@
+//! Criterion micro-benchmarks of the substrate components: the hot inner
+//! structures every simulated PR touches (event queue, Idx Filter,
+//! Pending PR Table, Concatenator, Property Cache) plus workload
+//! generation and the reference kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use netsparse_desim::{EventQueue, SimTime, SplitMix64};
+use netsparse_snic::{ConcatConfig, Concatenator, HeaderSpec, IdxFilter, PendingTable, Pr, PrKind};
+use netsparse_sparse::kernels::{spmm, synthetic_properties};
+use netsparse_sparse::suite::SuiteConfig;
+use netsparse_sparse::SuiteMatrix;
+use netsparse_switch::{PropertyCache, PropertyCacheConfig};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut rng = SplitMix64::new(7);
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_ps(rng.next_range(1_000_000)), i);
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((t, e)) = q.pop() {
+                debug_assert!(t >= last);
+                last = t;
+                black_box(e);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_idx_filter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("idx_filter");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("dense_insert_contains_100k", |b| {
+        b.iter(|| {
+            let mut f = IdxFilter::new(1 << 20);
+            let mut rng = SplitMix64::new(3);
+            for _ in 0..100_000 {
+                let idx = rng.next_range(1 << 20) as u32;
+                if !f.contains(idx) {
+                    f.insert(idx);
+                }
+            }
+            black_box(f.len())
+        })
+    });
+    g.bench_function("sparse_insert_contains_100k", |b| {
+        b.iter(|| {
+            let mut f = IdxFilter::new(100_000_000);
+            let mut rng = SplitMix64::new(3);
+            for _ in 0..100_000 {
+                let idx = rng.next_range(100_000_000) as u32;
+                if !f.contains(idx) {
+                    f.insert(idx);
+                }
+            }
+            black_box(f.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_pending_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pending_table");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("insert_remove_cycle_100k", |b| {
+        b.iter(|| {
+            let mut t = PendingTable::new(256);
+            let mut rng = SplitMix64::new(11);
+            let mut live: Vec<u32> = Vec::new();
+            for _ in 0..100_000 {
+                if t.is_full() || (!live.is_empty() && rng.chance(0.5)) {
+                    let i = rng.next_range(live.len() as u64) as usize;
+                    let idx = live.swap_remove(i);
+                    t.remove(idx);
+                } else {
+                    let idx = rng.next_u64() as u32;
+                    if !t.contains(idx) && t.insert(idx) {
+                        live.push(idx);
+                    }
+                }
+            }
+            black_box(t.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_concatenator(c: &mut Criterion) {
+    let cfg = ConcatConfig {
+        headers: HeaderSpec::paper(),
+        mtu: 1_500,
+        delay: SimTime::from_ns(227),
+        enabled: true,
+    };
+    let mut g = c.benchmark_group("concatenator");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("push_flush_100k", |b| {
+        b.iter(|| {
+            let mut con = Concatenator::new(cfg);
+            let mut rng = SplitMix64::new(5);
+            let mut emitted = 0u64;
+            for i in 0..100_000u32 {
+                let t = SimTime::from_ps(i as u64 * 455);
+                let dest = rng.next_range(127) as u32;
+                let pr = Pr {
+                    src_node: 0,
+                    src_tid: 0,
+                    idx: i,
+                    req_id: i,
+                };
+                if con.push(t, dest, PrKind::Read, pr, 0).is_some() {
+                    emitted += 1;
+                }
+                if i % 64 == 0 {
+                    emitted += con.flush_expired(t).len() as u64;
+                }
+            }
+            emitted += con.flush_all().len() as u64;
+            black_box(emitted)
+        })
+    });
+    g.finish();
+}
+
+fn bench_property_cache(c: &mut Criterion) {
+    let cfg = PropertyCacheConfig {
+        capacity_bytes: 4 << 20,
+        ..PropertyCacheConfig::paper()
+    };
+    let mut g = c.benchmark_group("property_cache");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("lookup_insert_100k", |b| {
+        b.iter(|| {
+            let mut cache = PropertyCache::new(cfg, 64);
+            let mut rng = SplitMix64::new(9);
+            let mut hits = 0u64;
+            for _ in 0..100_000 {
+                let idx = rng.next_range(200_000) as u32;
+                if cache.lookup(idx) {
+                    hits += 1;
+                } else {
+                    cache.insert(idx);
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_generation");
+    g.sample_size(10);
+    g.bench_function("arabic_32nodes_small", |b| {
+        b.iter(|| {
+            let wl = SuiteConfig {
+                matrix: SuiteMatrix::Arabic,
+                nodes: 32,
+                rack_size: 8,
+                scale: 0.05,
+                seed: 1,
+            }
+            .generate();
+            black_box(wl.total_nnz())
+        })
+    });
+    g.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let m = netsparse_sparse::gen::power_law(Default::default(), 3).to_csr();
+    let props = synthetic_properties(m.ncols(), 16);
+    let mut g = c.benchmark_group("kernels");
+    g.throughput(Throughput::Elements(m.nnz() as u64));
+    g.bench_function("spmm_k16", |b| b.iter(|| black_box(spmm(&m, &props, 16))));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_idx_filter,
+    bench_pending_table,
+    bench_concatenator,
+    bench_property_cache,
+    bench_workload_generation,
+    bench_kernels
+);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Prints the structural and communication profile of every benchmark
+//! matrix — the synthetic analogue of the paper's Table 6 plus the
+//! signature quantities the generators are calibrated to.
+use netsparse_bench::tables::all_experiments;
+use netsparse_bench::BenchOpts;
+use netsparse_sparse::analysis::WorkloadProfile;
+
+fn main() {
+    let o = BenchOpts::from_args();
+    println!(
+        "{:<8} {:>10} {:>8} {:>7} {:>9} {:>9} {:>8} {:>8} {:>7}",
+        "Matrix", "nnz", "remote%", "reuse", "SUred", "SAred", "dests", "share%", "imbal"
+    );
+    for e in all_experiments(&o) {
+        let p = WorkloadProfile::of(&e.wl, 16);
+        println!(
+            "{:<8} {:>10} {:>7.1}% {:>7.1} {:>9.0} {:>9.2} {:>8.2} {:>7.0}% {:>7.2}",
+            e.matrix.name(),
+            p.total_nnz,
+            p.remote_fraction * 100.0,
+            p.reuse,
+            p.su_redundancy,
+            p.sa_redundancy,
+            p.window_dests,
+            p.rack_sharing * 100.0,
+            p.nnz_imbalance
+        );
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig22 (see DESIGN.md's experiment index).
+fn main() {
+    let o = netsparse_bench::BenchOpts::from_args();
+    print!("{}", netsparse_bench::tables::fig22(&o));
+}

@@ -1,0 +1,103 @@
+//! Regenerates every table and figure of the paper's evaluation in one
+//! run. Output is organized per experiment; pipe through `tee` to save.
+use std::time::Instant;
+
+fn main() {
+    let o = netsparse_bench::BenchOpts::from_args();
+    let t0 = Instant::now();
+    type Section<'a> = (&'a str, Box<dyn Fn() -> String>);
+    let sections: Vec<Section> = vec![
+        (
+            "Table 1",
+            Box::new(move || netsparse_bench::tables::table1(&o)),
+        ),
+        (
+            "Table 2",
+            Box::new(move || netsparse_bench::tables::table2(&o)),
+        ),
+        ("Table 3", Box::new(netsparse_bench::tables::table3)),
+        (
+            "Table 4",
+            Box::new(move || netsparse_bench::tables::table4(&o)),
+        ),
+        ("Figure 10", Box::new(netsparse_bench::tables::fig10)),
+        (
+            "Figure 12",
+            Box::new(move || netsparse_bench::tables::fig12(&o)),
+        ),
+        (
+            "Table 7",
+            Box::new(move || netsparse_bench::tables::table7(&o)),
+        ),
+        (
+            "Figure 13",
+            Box::new(move || netsparse_bench::tables::fig13(&o)),
+        ),
+        (
+            "Figure 14",
+            Box::new(move || netsparse_bench::tables::fig14(&o)),
+        ),
+        (
+            "Table 8",
+            Box::new(move || netsparse_bench::tables::table8(&o)),
+        ),
+        (
+            "Figure 15",
+            Box::new(move || netsparse_bench::tables::fig15(&o)),
+        ),
+        (
+            "Figure 16",
+            Box::new(move || netsparse_bench::tables::fig16(&o)),
+        ),
+        (
+            "Figure 17",
+            Box::new(move || netsparse_bench::tables::fig17(&o)),
+        ),
+        (
+            "Figure 18",
+            Box::new(move || netsparse_bench::tables::fig18(&o)),
+        ),
+        (
+            "Figure 19",
+            Box::new(move || netsparse_bench::tables::fig19(&o)),
+        ),
+        ("Figure 20", Box::new(netsparse_bench::tables::fig20)),
+        ("Table 9", Box::new(netsparse_bench::tables::table9)),
+        (
+            "Figure 21",
+            Box::new(move || netsparse_bench::tables::fig21(&o)),
+        ),
+        (
+            "Figure 22",
+            Box::new(move || netsparse_bench::tables::fig22(&o)),
+        ),
+        (
+            "Extension: virtual CQs (§7.2)",
+            Box::new(move || netsparse_bench::tables::ext_virtual_cq(&o)),
+        ),
+        (
+            "Extension: fault recovery (§7.1)",
+            Box::new(move || netsparse_bench::tables::ext_faults(&o)),
+        ),
+        (
+            "Extension: hybrid baseline",
+            Box::new(move || netsparse_bench::tables::ext_hybrid(&o)),
+        ),
+        (
+            "Extension: partitioning (§9.4)",
+            Box::new(move || netsparse_bench::tables::ext_partition(&o)),
+        ),
+        (
+            "Extension: kernels (§2.1)",
+            Box::new(move || netsparse_bench::tables::ext_kernels(&o)),
+        ),
+    ];
+    for (name, f) in sections {
+        let t = Instant::now();
+        let body = f();
+        println!("==================== {name} ====================");
+        println!("{body}");
+        eprintln!("[{name} done in {:.1?}]", t.elapsed());
+    }
+    eprintln!("[all experiments done in {:.1?}]", t0.elapsed());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table3 (see DESIGN.md's experiment index).
+fn main() {
+    let _ = netsparse_bench::BenchOpts::from_args();
+    print!("{}", netsparse_bench::tables::table3());
+}

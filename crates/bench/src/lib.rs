@@ -1,0 +1,15 @@
+//! Benchmark harness for the NetSparse reproduction.
+//!
+//! One public function per paper table/figure (see `DESIGN.md`'s
+//! experiment index); each returns its formatted output so the per-target
+//! binaries (`table1` … `fig22`) and the all-in-one `repro_all` binary can
+//! share the logic. Criterion micro-benchmarks of the substrate components
+//! live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod opts;
+pub mod tables;
+
+pub use opts::BenchOpts;

@@ -1,0 +1,86 @@
+//! Command-line options shared by every bench binary.
+
+/// Options for a bench run.
+///
+/// Every binary accepts:
+///
+/// - `--scale <f64>`: workload scale factor (default 1.0 ≈ 128 k
+///   nonzeros/node; the paper's matrices are ~40x larger),
+/// - `--seed <u64>`: generator seed (default 2025),
+/// - `--quick`: quarter-scale run for fast sanity checks,
+/// - `--paper`: use the verbatim Table 5 machine (400 Gbps, real
+///   latencies, 32 MB caches) instead of the scaled `mini` profile.
+///   Orderings still hold, but fixed costs claim a larger share of the
+///   scaled-down kernels, so magnitudes compress (see DESIGN.md §3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchOpts {
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Run on the verbatim Table 5 cluster profile.
+    pub paper_profile: bool,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            scale: 1.0,
+            seed: 2025,
+            paper_profile: false,
+        }
+    }
+}
+
+impl BenchOpts {
+    /// Parses options from `std::env::args`, panicking with a usage
+    /// message on malformed input.
+    pub fn from_args() -> Self {
+        let mut opts = BenchOpts::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = args.next().expect("--scale needs a value");
+                    opts.scale = v.parse().expect("--scale must be a float");
+                }
+                "--seed" => {
+                    let v = args.next().expect("--seed needs a value");
+                    opts.seed = v.parse().expect("--seed must be an integer");
+                }
+                "--quick" => opts.scale *= 0.25,
+                "--paper" => opts.paper_profile = true,
+                "--help" | "-h" => {
+                    eprintln!("options: [--scale f64] [--seed u64] [--quick] [--paper]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown option '{other}' (try --help)"),
+            }
+        }
+        assert!(opts.scale > 0.0, "--scale must be positive");
+        opts
+    }
+
+    /// A derived option set with the scale multiplied by `f` (sweep
+    /// experiments run smaller workloads by default).
+    pub fn scaled(&self, f: f64) -> Self {
+        BenchOpts {
+            scale: self.scale * f,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_scaling() {
+        let o = BenchOpts::default();
+        assert_eq!(o.scale, 1.0);
+        let half = o.scaled(0.5);
+        assert_eq!(half.scale, 0.5);
+        assert_eq!(half.seed, o.seed);
+    }
+}

@@ -1,0 +1,331 @@
+//! Cluster configuration: Table 5 plus the mechanism ablation switches.
+
+use netsparse_desim::{Clock, SimTime};
+use netsparse_netsim::{LinkParams, Topology};
+use netsparse_snic::vconcat::VirtualCqConfig;
+use netsparse_snic::{HeaderSpec, SnicConfig};
+use netsparse_switch::SwitchConfig;
+
+/// Which concatenator implementation concatenation points deploy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConcatImpl {
+    /// One MTU-sized CQ per `(destination, type)` (§6.1.2) — SRAM scales
+    /// with cluster size.
+    Dedicated,
+    /// A fixed pool of virtualized sub-MTU physical CQs (§7.2) — SRAM is
+    /// cluster-size independent.
+    Virtual(VirtualCqConfig),
+}
+
+/// Fault injection and recovery (§7.1).
+///
+/// NetSparse assumes a lossless fabric, so losses model *hardware
+/// failures*. Detection is a watchdog timer per RIG operation: on timeout
+/// the operation is failed, its partially gathered buffer is discarded
+/// (filter bits dropped), and the command restarts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a packet is dropped at each switch traversal.
+    pub loss_rate: f64,
+    /// Watchdog timeout per RIG command, nanoseconds (0 = disabled).
+    pub watchdog_ns: u64,
+    /// Seed for the loss process.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// No faults (the paper's default lossless environment).
+    pub fn none() -> Self {
+        FaultConfig {
+            loss_rate: 0.0,
+            watchdog_ns: 0,
+            seed: 0,
+        }
+    }
+
+    /// Drops packets at `loss_rate` per hop with a `watchdog_ns` recovery
+    /// timer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `loss_rate` is a probability and, when nonzero, a
+    /// watchdog is armed (without one a lost packet hangs the kernel).
+    pub fn lossy(loss_rate: f64, watchdog_ns: u64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&loss_rate),
+            "loss rate is a probability"
+        );
+        assert!(
+            loss_rate == 0.0 || watchdog_ns > 0,
+            "packet loss without a watchdog would hang the kernel"
+        );
+        FaultConfig {
+            loss_rate,
+            watchdog_ns,
+            seed,
+        }
+    }
+}
+
+/// Which NetSparse mechanisms are active — the ablation axis of Table 8.
+///
+/// RIG offload itself is always on inside the simulator (it *is* the
+/// simulated communication engine); the stages of Table 8 successively
+/// enable the remaining mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mechanisms {
+    /// Idx Filter: drop PRs whose property was already fetched.
+    pub filter: bool,
+    /// Pending-PR coalescing within each RIG unit.
+    pub coalesce: bool,
+    /// Concatenation at the SNIC.
+    pub nic_concat: bool,
+    /// Concatenation at NetSparse (edge) switches.
+    pub switch_concat: bool,
+    /// The in-switch Property Cache.
+    pub property_cache: bool,
+}
+
+impl Mechanisms {
+    /// Everything on — the full NetSparse design.
+    pub fn all() -> Self {
+        Mechanisms {
+            filter: true,
+            coalesce: true,
+            nic_concat: true,
+            switch_concat: true,
+            property_cache: true,
+        }
+    }
+
+    /// RIG offload only (Table 8 row 1).
+    pub fn rig_only() -> Self {
+        Mechanisms {
+            filter: false,
+            coalesce: false,
+            nic_concat: false,
+            switch_concat: false,
+            property_cache: false,
+        }
+    }
+
+    /// The five cumulative ablation stages of Table 8, in order:
+    /// RIG, +Filter, +Coalesce, +Conc(NIC), +Switch.
+    pub fn ablation_stages() -> [(&'static str, Mechanisms); 5] {
+        let rig = Mechanisms::rig_only();
+        let filter = Mechanisms {
+            filter: true,
+            ..rig
+        };
+        let coalesce = Mechanisms {
+            coalesce: true,
+            ..filter
+        };
+        let conc_nic = Mechanisms {
+            nic_concat: true,
+            ..coalesce
+        };
+        let switch = Mechanisms {
+            switch_concat: true,
+            property_cache: true,
+            ..conc_nic
+        };
+        [
+            ("RIG", rig),
+            ("Filter", filter),
+            ("Coalesce", coalesce),
+            ("ConcNIC", conc_nic),
+            ("Switch", switch),
+        ]
+    }
+
+    /// Whether edge switches run the NetSparse middle-pipe path at all.
+    pub fn netsparse_switch(&self) -> bool {
+        self.switch_concat || self.property_cache
+    }
+}
+
+impl Default for Mechanisms {
+    fn default() -> Self {
+        Mechanisms::all()
+    }
+}
+
+/// Full configuration of a simulated cluster.
+///
+/// Two profiles are provided:
+///
+/// - [`ClusterConfig::paper`] — Table 5 verbatim: 400 Gbps links, 450 ns
+///   link / 300 ns switch latency (2.4 µs / 5.4 µs zero-load RTTs), 32 MB
+///   Property Caches, 32 k RIG batches.
+/// - [`ClusterConfig::mini`] — the same machine scaled coherently for the
+///   synthetic workloads in this repository (~1/40 of the paper's
+///   per-node nonzeros). Kernel time scales roughly with
+///   `matrix bytes / bandwidth`, so with bandwidth ÷4 runtimes shrink
+///   ~10x; every *fixed* per-operation cost is therefore also scaled ÷10 —
+///   link/switch/PCIe latencies and per-command host software — to
+///   preserve each cost's share of the kernel. Property Caches are ÷16
+///   (preserving the cache-capacity-to-rack-demand ratio) and RIG batches
+///   are 1024 (preserving commands-per-unit). Concatenation delay budgets
+///   are *not* scaled: they are set by PR generation rates, which the
+///   scaling leaves unchanged.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Network topology.
+    pub topology: Topology,
+    /// SmartNIC parameters.
+    pub snic: SnicConfig,
+    /// Edge-switch parameters.
+    pub switch: SwitchConfig,
+    /// Protocol header sizes.
+    pub headers: HeaderSpec,
+    /// Network link parameters (node-switch and switch-switch).
+    pub link: LinkParams,
+    /// Property size in 4-byte elements (the paper's K).
+    pub k: u32,
+    /// Nonzeros per RIG command.
+    pub batch_size: usize,
+    /// Active mechanisms.
+    pub mechanisms: Mechanisms,
+    /// Host software cost to issue one RIG command, nanoseconds.
+    pub host_cmd_ns: u64,
+    /// §9.4's future-work idea, implemented: dynamic adjustment of RIG
+    /// parallelism. The host watches the duplicate-response rate (the
+    /// signature of concurrent commands re-fetching each other's columns,
+    /// which per-unit coalescing cannot see) and AIMD-throttles how many
+    /// commands run at once.
+    pub adaptive_batch: bool,
+    /// Concatenator implementation (dedicated CQs vs §7.2 virtual CQs).
+    pub concat_impl: ConcatImpl,
+    /// Fault injection (§7.1); defaults to lossless.
+    pub faults: FaultConfig,
+}
+
+impl ClusterConfig {
+    /// The paper's Table 5 configuration for `topology` at property size
+    /// `k`.
+    pub fn paper(topology: Topology, k: u32) -> Self {
+        ClusterConfig {
+            topology,
+            snic: SnicConfig::paper(),
+            switch: SwitchConfig::paper(),
+            headers: HeaderSpec::paper(),
+            link: LinkParams::new(400.0, 450),
+            k,
+            batch_size: 32 * 1024,
+            mechanisms: Mechanisms::all(),
+            host_cmd_ns: 300,
+            adaptive_batch: false,
+            concat_impl: ConcatImpl::Dedicated,
+            faults: FaultConfig::none(),
+        }
+    }
+
+    /// The scaled profile used by the default experiments (see type-level
+    /// docs for the scaling rationale).
+    pub fn mini(topology: Topology, k: u32) -> Self {
+        let mut cfg = ClusterConfig::paper(topology, k);
+        cfg.link = LinkParams::new(100.0, 45);
+        cfg.snic.line_rate_gbps = 100.0;
+        cfg.snic.pcie_latency_ns = 20;
+        cfg.switch.latency_ns = 30;
+        cfg.switch.cache.capacity_bytes = 2 << 20;
+        cfg.batch_size = 2048;
+        cfg.host_cmd_ns = 30;
+        cfg
+    }
+
+    /// Property payload bytes (4 per element).
+    pub fn payload_bytes(&self) -> u32 {
+        4 * self.k
+    }
+
+    /// The SNIC clock.
+    pub fn snic_clock(&self) -> Clock {
+        Clock::from_ghz(self.snic.clock_ghz)
+    }
+
+    /// The switch pipe clock.
+    pub fn switch_clock(&self) -> Clock {
+        Clock::from_ghz(self.switch.clock_ghz)
+    }
+
+    /// The SNIC concatenation delay budget as simulated time.
+    pub fn nic_concat_delay(&self) -> SimTime {
+        self.snic_clock().cycles(self.snic.concat_delay_cycles)
+    }
+
+    /// The switch concatenation delay budget as simulated time.
+    pub fn switch_concat_delay(&self) -> SimTime {
+        self.switch_clock().cycles(self.switch.concat_delay_cycles)
+    }
+
+    /// Zero-load switch traversal latency.
+    pub fn switch_latency(&self) -> SimTime {
+        SimTime::from_ns(self.switch.latency_ns)
+    }
+
+    /// PCIe one-way latency.
+    pub fn pcie_latency(&self) -> SimTime {
+        SimTime::from_ns(self.snic.pcie_latency_ns)
+    }
+
+    /// PCIe link parameters (for the host-SNIC DMA model). The paper's
+    /// 256 GB/s Gen6 x16 link is 2048 Gbps.
+    pub fn pcie_link(&self) -> LinkParams {
+        LinkParams::new(self.snic.pcie_gbps * 8.0, self.snic.pcie_latency_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profile_matches_table5() {
+        let c = ClusterConfig::paper(Topology::leaf_spine_128(), 16);
+        assert_eq!(c.payload_bytes(), 64);
+        assert_eq!(c.batch_size, 32 * 1024);
+        assert_eq!(c.link.bandwidth_bps, 400e9);
+        // 500 SNIC cycles at 2.2 GHz ~ 227 ns.
+        let d = c.nic_concat_delay();
+        assert!((d.as_ns_f64() - 227.27).abs() < 1.0, "{d}");
+        // 125 switch cycles at 2 GHz = 62.5 ns.
+        assert_eq!(c.switch_concat_delay(), SimTime::from_ps(62_500));
+    }
+
+    #[test]
+    fn mini_profile_scales_coherently() {
+        let p = ClusterConfig::paper(Topology::leaf_spine_128(), 16);
+        let m = ClusterConfig::mini(Topology::leaf_spine_128(), 16);
+        // Bandwidth and latency scale together: BDP shrinks ~16x.
+        assert!(m.link.bandwidth_bps < p.link.bandwidth_bps);
+        assert!(m.switch.cache.capacity_bytes < p.switch.cache.capacity_bytes);
+        // Concat delays are NOT scaled.
+        assert_eq!(m.nic_concat_delay(), p.nic_concat_delay());
+    }
+
+    #[test]
+    fn ablation_stages_are_cumulative() {
+        let stages = Mechanisms::ablation_stages();
+        let count = |m: Mechanisms| {
+            [
+                m.filter,
+                m.coalesce,
+                m.nic_concat,
+                m.switch_concat,
+                m.property_cache,
+            ]
+            .iter()
+            .filter(|&&b| b)
+            .count()
+        };
+        let mut prev = 0;
+        for (name, m) in stages {
+            let c = count(m);
+            assert!(c >= prev, "stage {name} lost mechanisms");
+            prev = c;
+        }
+        assert_eq!(stages[4].1, Mechanisms::all());
+    }
+}

@@ -1,0 +1,306 @@
+//! Simulation reports: everything the paper's tables and figures read off.
+
+use std::fmt;
+
+use netsparse_desim::{Histogram, Reservoir, SimTime};
+
+/// Per-node results of a NetSparse simulation.
+#[derive(Debug, Clone, Default)]
+pub struct NodeReport {
+    /// Idxs scanned (nonzeros of the node's rows).
+    pub idxs_scanned: u64,
+    /// Idxs that referenced local properties.
+    pub local: u64,
+    /// PRs dropped by the Idx Filter.
+    pub filtered: u64,
+    /// PRs dropped by coalescing.
+    pub coalesced: u64,
+    /// Read PRs issued into the network.
+    pub issued: u64,
+    /// Responses received (property payloads written to host memory).
+    pub responses: u64,
+    /// Responses carrying a property this node already had (cross-unit
+    /// duplicates; zero when filtering+coalescing fully succeed).
+    pub duplicate_responses: u64,
+    /// Property payload bytes received.
+    pub rx_payload_bytes: u64,
+    /// Wire bytes received on the node's downlink (headers included).
+    pub rx_wire_bytes: u64,
+    /// Wire bytes sent on the node's uplink.
+    pub tx_wire_bytes: u64,
+    /// When the node finished all its RIG commands.
+    pub finish: SimTime,
+    /// RIG-unit stall events (Pending PR Table full).
+    pub stalls: u64,
+    /// RIG commands restarted by the §7.1 watchdog.
+    pub watchdog_retries: u64,
+}
+
+impl NodeReport {
+    /// Remote references scanned (idxs that needed a remote property).
+    pub fn remote_refs(&self) -> u64 {
+        self.filtered + self.coalesced + self.issued
+    }
+
+    /// Fraction of remote references eliminated by filtering + coalescing
+    /// (Table 7, "F+C Rate").
+    pub fn fc_rate(&self) -> f64 {
+        let remote = self.remote_refs();
+        if remote == 0 {
+            0.0
+        } else {
+            (self.filtered + self.coalesced) as f64 / remote as f64
+        }
+    }
+}
+
+/// The full result of one cluster simulation.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Property size (elements).
+    pub k: u32,
+    /// Per-node breakdown.
+    pub nodes: Vec<NodeReport>,
+    /// Kernel communication time (the slowest node's finish).
+    pub comm_time: SimTime,
+    /// PRs per packet across every concatenation point (Table 7).
+    pub prs_per_packet: Histogram,
+    /// Property Cache lookups across all switches.
+    pub cache_lookups: u64,
+    /// Property Cache hits across all switches.
+    pub cache_hits: u64,
+    /// Total wire bytes over all network links (per-hop accounting).
+    pub total_link_bytes: u64,
+    /// Network line rate in bits/second (for utilization math).
+    pub line_rate_bps: f64,
+    /// Every node received exactly its needed set of remote properties.
+    pub functional_check_passed: bool,
+    /// Total events processed by the engine.
+    pub events: u64,
+    /// Packets lost to injected hardware failures (§7.1).
+    pub dropped_packets: u64,
+    /// Sampled PR round-trip latencies (issue to response arrival).
+    pub pr_latency: Reservoir,
+    /// Worst per-link output-queue occupancy in bytes — must stay far
+    /// below the switch packet buffer (Table 5: 96 MB) for the lossless
+    /// assumption to hold.
+    pub max_link_backlog_bytes: u64,
+    /// The five busiest links, most-loaded first — where the bottleneck
+    /// lives.
+    pub hot_links: Vec<HotLink>,
+}
+
+/// One heavily loaded link in the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotLink {
+    /// Human-readable source element (e.g. `switch 3`, `nic 17`).
+    pub from: String,
+    /// Human-readable destination element.
+    pub to: String,
+    /// Bytes carried.
+    pub bytes: u64,
+    /// Fraction of the line rate used over the kernel.
+    pub utilization: f64,
+}
+
+impl SimReport {
+    /// Communication time in seconds.
+    pub fn comm_time_s(&self) -> f64 {
+        self.comm_time.as_secs_f64()
+    }
+
+    /// Index of the tail node (latest finish).
+    pub fn tail_node(&self) -> usize {
+        self.nodes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, n)| n.finish)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// The tail node's report.
+    pub fn tail(&self) -> &NodeReport {
+        &self.nodes[self.tail_node()]
+    }
+
+    /// Property Cache hit rate (Table 7).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
+
+    /// Tail-node goodput: useful payload bits over `comm_time` at the line
+    /// rate (Table 7, "Gput").
+    pub fn tail_goodput(&self) -> f64 {
+        let t = self.comm_time_s();
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let bits = self.tail().rx_payload_bytes as f64 * 8.0;
+        bits / t / self.line_rate_bps
+    }
+
+    /// Tail-node downlink line utilization (Table 7, "Line Util.").
+    pub fn tail_line_utilization(&self) -> f64 {
+        let t = self.comm_time_s();
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let bits = self.tail().rx_wire_bytes as f64 * 8.0;
+        bits / t / self.line_rate_bps
+    }
+
+    /// Total read PRs issued cluster-wide.
+    pub fn total_issued(&self) -> u64 {
+        self.nodes.iter().map(|n| n.issued).sum()
+    }
+
+    /// The `q`-quantile of PR round-trip latency, if any PRs completed.
+    pub fn pr_latency_quantile(&self, q: f64) -> Option<SimTime> {
+        self.pr_latency.quantile(q).map(SimTime::from_ps)
+    }
+
+    /// Figure 19's curve: how many nodes are still communicating at each
+    /// of `samples` evenly spaced instants of the kernel.
+    pub fn active_nodes_curve(&self, samples: usize) -> Vec<u32> {
+        let end = self.comm_time;
+        (0..samples)
+            .map(|i| {
+                let t = SimTime::from_ps(
+                    ((end.as_ps() as u128 * i as u128) / samples.max(1) as u128) as u64,
+                );
+                self.nodes.iter().filter(|n| n.finish > t).count() as u32
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for SimReport {
+    /// A one-screen human summary of the run (examples print this).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "communication: {} over {} nodes (K={}, {} events)",
+            self.comm_time,
+            self.nodes.len(),
+            self.k,
+            self.events
+        )?;
+        let tail = self.tail();
+        writeln!(
+            f,
+            "tail node {}: F+C {:.1}% | goodput {:.1}% | line util {:.1}%",
+            self.tail_node(),
+            tail.fc_rate() * 100.0,
+            self.tail_goodput() * 100.0,
+            self.tail_line_utilization() * 100.0
+        )?;
+        writeln!(
+            f,
+            "PRs: {} issued, {:.1}/packet | cache hits {:.1}% | {} B on the wire",
+            self.total_issued(),
+            self.prs_per_packet.mean(),
+            self.cache_hit_rate() * 100.0,
+            self.total_link_bytes
+        )?;
+        if let (Some(p50), Some(p99)) = (
+            self.pr_latency_quantile(0.5),
+            self.pr_latency_quantile(0.99),
+        ) {
+            writeln!(f, "PR latency: p50 {p50}, p99 {p99}")?;
+        }
+        if self.dropped_packets > 0 {
+            writeln!(f, "faults: {} packets dropped", self.dropped_packets)?;
+        }
+        write!(
+            f,
+            "functional check: {}",
+            if self.functional_check_passed {
+                "passed"
+            } else {
+                "FAILED"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(finish_ns: u64, payload: u64, wire: u64) -> NodeReport {
+        NodeReport {
+            finish: SimTime::from_ns(finish_ns),
+            rx_payload_bytes: payload,
+            rx_wire_bytes: wire,
+            filtered: 6,
+            coalesced: 2,
+            issued: 2,
+            ..NodeReport::default()
+        }
+    }
+
+    fn report() -> SimReport {
+        SimReport {
+            k: 16,
+            nodes: vec![node(100, 800, 1_000), node(200, 1_600, 2_000)],
+            comm_time: SimTime::from_ns(200),
+            prs_per_packet: Histogram::new(),
+            cache_lookups: 10,
+            cache_hits: 4,
+            total_link_bytes: 3_000,
+            line_rate_bps: 400e9,
+            functional_check_passed: true,
+            events: 42,
+            dropped_packets: 0,
+            pr_latency: Reservoir::new(16, 0),
+            max_link_backlog_bytes: 0,
+            hot_links: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn tail_node_is_latest_finisher() {
+        let r = report();
+        assert_eq!(r.tail_node(), 1);
+        assert_eq!(r.tail().rx_payload_bytes, 1_600);
+    }
+
+    #[test]
+    fn fc_rate_counts_drops() {
+        let n = node(1, 0, 0);
+        assert_eq!(n.remote_refs(), 10);
+        assert!((n.fc_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn goodput_and_utilization() {
+        let r = report();
+        // 1600 B in 200 ns at 400 Gbps: 1600*8 / 200e-9 / 400e9 = 0.16.
+        assert!((r.tail_goodput() - 0.16).abs() < 1e-12);
+        assert!((r.tail_line_utilization() - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_hit_rate() {
+        assert!((report().cache_hit_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_summarizes_the_run() {
+        let text = report().to_string();
+        assert!(text.contains("tail node 1"));
+        assert!(text.contains("functional check: passed"));
+    }
+
+    #[test]
+    fn active_nodes_curve_decreases() {
+        let r = report();
+        let curve = r.active_nodes_curve(4);
+        assert_eq!(curve, vec![2, 2, 1, 1]);
+    }
+}

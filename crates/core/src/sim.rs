@@ -1,0 +1,1225 @@
+//! The event-driven NetSparse cluster simulation.
+//!
+//! One call to [`simulate`] runs a full distributed sparse kernel's
+//! communication phase (the paper's Figure 3 lifetime) over a cluster:
+//!
+//! 1. each node's host core issues RIG commands (batches of nonzeros) to
+//!    the free client RIG units of its SNIC, paying a per-command software
+//!    cost plus the PCIe DMA of the idx batch;
+//! 2. client units scan idxs at one per SNIC cycle, dropping local /
+//!    filtered / coalesced ones and pushing read PRs into the NIC's
+//!    concatenator; units stall when their Pending PR Table fills;
+//! 3. packets traverse the network hop by hop over bandwidth/latency
+//!    links; NetSparse edge switches deconcatenate, probe/fill the
+//!    Property Cache for inter-rack properties, and reconcatenate
+//!    (cross-node concatenation);
+//! 4. server RIG units at home nodes fetch properties over PCIe and emit
+//!    response PRs; responses retrace the network, update caches, clear
+//!    pending entries, set Idx Filter bits, and DMA properties to host
+//!    memory;
+//! 5. a RIG command completes when its stream is scanned and all its
+//!    responses have arrived; the node finishes when all commands do.
+//!
+//! Event granularity is chosen for scale: per-idx work happens in tight
+//! loops inside chunk events (one event per ~1024 idxs), and events exist
+//! only for packets, concatenation expiries and command boundaries — so
+//! event count is proportional to packets, not cycles.
+
+use std::collections::{HashMap, HashSet};
+
+use netsparse_desim::{Engine, Histogram, Reservoir, Scheduler, SimTime, SplitMix64};
+use netsparse_netsim::{Element, Link, LinkId, Network, SwitchId};
+use netsparse_snic::vconcat::VirtualConcatenator;
+use netsparse_snic::{
+    ConcatConfig, ConcatPacket, Concatenator, IdxFilter, IdxOutcome, PrKind, RigClient,
+};
+use netsparse_sparse::CommWorkload;
+use netsparse_switch::MiddlePipes;
+
+use crate::config::{ClusterConfig, ConcatImpl};
+use crate::metrics::{HotLink, NodeReport, SimReport};
+
+/// A concatenation point of either implementation (§6.1.2 dedicated CQs
+/// or §7.2 virtualized CQs), with a uniform interface for the event loop.
+enum ConcatPoint {
+    Dedicated(Concatenator),
+    Virtual(VirtualConcatenator),
+}
+
+impl ConcatPoint {
+    fn new(cfg: ConcatConfig, implementation: ConcatImpl) -> Self {
+        match implementation {
+            ConcatImpl::Dedicated => ConcatPoint::Dedicated(Concatenator::new(cfg)),
+            ConcatImpl::Virtual(pool) => ConcatPoint::Virtual(VirtualConcatenator::new(cfg, pool)),
+        }
+    }
+
+    fn push(
+        &mut self,
+        now: SimTime,
+        dest: u32,
+        kind: PrKind,
+        pr: netsparse_snic::Pr,
+        payload: u32,
+    ) -> Vec<ConcatPacket> {
+        match self {
+            ConcatPoint::Dedicated(c) => c.push(now, dest, kind, pr, payload).into_iter().collect(),
+            ConcatPoint::Virtual(c) => c.push(now, dest, kind, pr, payload),
+        }
+    }
+
+    fn next_expiry(&mut self) -> Option<SimTime> {
+        match self {
+            ConcatPoint::Dedicated(c) => c.next_expiry(),
+            ConcatPoint::Virtual(c) => c.next_expiry(),
+        }
+    }
+
+    fn flush_expired(&mut self, now: SimTime) -> Vec<ConcatPacket> {
+        match self {
+            ConcatPoint::Dedicated(c) => c.flush_expired(now),
+            ConcatPoint::Virtual(c) => c.flush_expired(now),
+        }
+    }
+
+    fn prs_per_packet(&self) -> &Histogram {
+        match self {
+            ConcatPoint::Dedicated(c) => c.prs_per_packet(),
+            ConcatPoint::Virtual(c) => c.prs_per_packet(),
+        }
+    }
+}
+
+enum Event {
+    HostIssue {
+        node: u32,
+    },
+    ClientProcess {
+        node: u32,
+        unit: u16,
+    },
+    NicConcatExpire {
+        node: u32,
+    },
+    SwitchConcatExpire {
+        switch: u32,
+    },
+    PacketAtSwitch {
+        switch: u32,
+        from_nic: bool,
+        pkt: ConcatPacket,
+    },
+    PacketAtNic {
+        node: u32,
+        pkt: ConcatPacket,
+    },
+    /// §7.1 watchdog: fires once per RIG command issue; acts only if the
+    /// same command generation is still running.
+    Watchdog {
+        node: u32,
+        unit: u16,
+        generation: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnitState {
+    /// No command assigned.
+    Idle,
+    /// Scanning idxs (a ClientProcess event is pending).
+    Running,
+    /// Pending PR Table full; waiting for a response to free an entry.
+    Stalled,
+    /// Stream fully scanned; waiting for outstanding responses.
+    Draining,
+}
+
+struct ClientUnit {
+    rig: RigClient,
+    state: UnitState,
+    /// Current command's idx range within the node's stream.
+    cmd: Option<(usize, usize)>,
+    pos: usize,
+    /// Bumped on every command assignment and watchdog restart; stale
+    /// watchdog events check it and stand down.
+    generation: u64,
+    /// Properties delivered for the current command (discarded on a
+    /// watchdog failure, per §7.1).
+    received_this_cmd: Vec<u32>,
+    /// Watchdog restarts suffered by this unit.
+    retries: u64,
+}
+
+struct NodeState {
+    units: Vec<ClientUnit>,
+    filter: IdxFilter,
+    concat: ConcatPoint,
+    concat_sched: Option<SimTime>,
+    server_busy: SimTime,
+    pcie_h2d: Link,
+    pcie_d2h: Link,
+    host_busy: SimTime,
+    /// Next unscheduled position in the node's idx stream (commands are
+    /// carved from here at issue time, so batch sizes may vary).
+    stream_pos: usize,
+    active_cmds: usize,
+    /// Adaptive concurrency control (§9.4): how many commands may run at
+    /// once. Cross-unit duplicate responses shrink it; clean completions
+    /// grow it.
+    concurrency_limit: usize,
+    /// Duplicate/response counters at the last adaptation step.
+    last_dup: u64,
+    last_resp: u64,
+    finish: Option<SimTime>,
+    needed: HashSet<u32>,
+    received: HashSet<u32>,
+    /// Issue timestamp of each outstanding PR, keyed by (unit, idx) —
+    /// the PR round-trip-latency probe.
+    issue_times: HashMap<(u16, u32), SimTime>,
+    responses: u64,
+    dup_responses: u64,
+    rx_payload: u64,
+}
+
+struct SwitchState {
+    pipes: MiddlePipes,
+    concat: ConcatPoint,
+    concat_sched: Option<SimTime>,
+    netsparse: bool,
+}
+
+struct World<'a> {
+    cfg: &'a ClusterConfig,
+    wl: &'a CommWorkload,
+    net: Network,
+    links: Vec<Link>,
+    /// Per node: its uplink and ToR.
+    from_nic: Vec<(LinkId, u32)>,
+    /// Per node: its downlink (ToR -> NIC), for rx accounting.
+    downlink: Vec<LinkId>,
+    /// `[switch][dest node]` -> next hop.
+    from_switch: Vec<Vec<Option<(LinkId, Element)>>>,
+    nodes: Vec<NodeState>,
+    switches: Vec<SwitchState>,
+    cycle: SimTime,
+    server_svc: SimTime,
+    cache_lat: SimTime,
+    switch_lat: SimTime,
+    pcie_lat: SimTime,
+    payload: u32,
+    loss_rng: SplitMix64,
+    dropped_packets: u64,
+    pr_latency: Reservoir,
+}
+
+impl<'a> World<'a> {
+    fn new(cfg: &'a ClusterConfig, wl: &'a CommWorkload) -> Self {
+        let net = Network::new(cfg.topology);
+        assert_eq!(
+            net.nodes(),
+            wl.nodes(),
+            "workload node count must match the topology"
+        );
+        let n_nodes = net.nodes();
+        let n_switches = net.switches();
+
+        // Runtime link states.
+        let links: Vec<Link> = (0..net.links()).map(|_| Link::new(cfg.link)).collect();
+
+        // Routing tables from the precomputed paths.
+        let mut from_nic = vec![(LinkId(0), 0u32); n_nodes as usize];
+        let mut downlink = vec![LinkId(0); n_nodes as usize];
+        let mut from_switch: Vec<Vec<Option<(LinkId, Element)>>> =
+            vec![vec![None; n_nodes as usize]; n_switches as usize];
+        for src in 0..n_nodes {
+            for dst in 0..n_nodes {
+                if src == dst {
+                    continue;
+                }
+                let path = net.path(src, dst);
+                let mut prev = Element::Nic(src);
+                for hop in &path.hops {
+                    match prev {
+                        Element::Nic(n) if n == src => {
+                            let Element::Switch(sw) = hop.to else {
+                                panic!("first hop must reach a switch");
+                            };
+                            from_nic[src as usize] = (hop.link, sw.0);
+                        }
+                        Element::Switch(sw) => {
+                            let entry = &mut from_switch[sw.0 as usize][dst as usize];
+                            if let Some(existing) = entry {
+                                debug_assert_eq!(
+                                    *existing,
+                                    (hop.link, hop.to),
+                                    "routing must be destination-deterministic"
+                                );
+                            } else {
+                                *entry = Some((hop.link, hop.to));
+                            }
+                            if let Element::Nic(n) = hop.to {
+                                downlink[n as usize] = hop.link;
+                            }
+                        }
+                        Element::Nic(_) => panic!("path passes through a foreign NIC"),
+                    }
+                    prev = hop.to;
+                }
+            }
+        }
+
+        let snic_clock = cfg.snic_clock();
+        let cycle = snic_clock.period();
+        let payload = cfg.payload_bytes();
+        // Server PR service: one PR per cycle across the server units,
+        // floored by the PCIe fetch bandwidth for the property payload.
+        let per_unit = cycle.as_ps() as f64 / cfg.snic.server_units() as f64;
+        let fetch_ps = payload as f64 * 8.0 / (cfg.snic.pcie_gbps * 8e9) * 1e12;
+        let server_svc = SimTime::from_ps(per_unit.max(fetch_ps).round() as u64);
+
+        let nic_concat_cfg = ConcatConfig {
+            headers: cfg.headers,
+            mtu: cfg.snic.mtu,
+            delay: cfg.nic_concat_delay(),
+            enabled: cfg.mechanisms.nic_concat,
+        };
+        let switch_concat_cfg = ConcatConfig {
+            headers: cfg.headers,
+            mtu: cfg.snic.mtu,
+            delay: cfg.switch_concat_delay(),
+            enabled: cfg.mechanisms.switch_concat,
+        };
+
+        let nodes = (0..n_nodes)
+            .map(|p| {
+                let stream = wl.stream(p);
+                let mut needed = HashSet::new();
+                for &idx in stream {
+                    if wl.owner(idx) != p {
+                        needed.insert(idx);
+                    }
+                }
+                NodeState {
+                    units: (0..cfg.snic.client_units())
+                        .map(|tid| ClientUnit {
+                            rig: RigClient::new(p, tid as u16, cfg.snic.pending_entries),
+                            state: UnitState::Idle,
+                            cmd: None,
+                            pos: 0,
+                            generation: 0,
+                            received_this_cmd: Vec::new(),
+                            retries: 0,
+                        })
+                        .collect(),
+                    filter: IdxFilter::new(wl.n_cols()),
+                    concat: ConcatPoint::new(nic_concat_cfg, cfg.concat_impl),
+                    concat_sched: None,
+                    server_busy: SimTime::ZERO,
+                    pcie_h2d: Link::new(cfg.pcie_link()),
+                    pcie_d2h: Link::new(cfg.pcie_link()),
+                    host_busy: SimTime::ZERO,
+                    stream_pos: 0,
+                    active_cmds: 0,
+                    concurrency_limit: cfg.snic.client_units() as usize,
+                    last_dup: 0,
+                    last_resp: 0,
+                    finish: if stream.is_empty() {
+                        Some(SimTime::ZERO)
+                    } else {
+                        None
+                    },
+                    needed,
+                    received: HashSet::new(),
+                    issue_times: HashMap::new(),
+                    responses: 0,
+                    dup_responses: 0,
+                    rx_payload: 0,
+                }
+            })
+            .collect();
+
+        let cache_bytes = if cfg.mechanisms.property_cache {
+            cfg.switch.cache.capacity_bytes
+        } else {
+            0
+        };
+        let switches = (0..n_switches)
+            .map(|s| {
+                let edge = cfg.topology.is_edge_switch(SwitchId(s));
+                let mut sw_cfg = cfg.switch;
+                sw_cfg.cache.capacity_bytes = cache_bytes;
+                SwitchState {
+                    pipes: if edge {
+                        MiddlePipes::new(&sw_cfg, payload.max(1))
+                    } else {
+                        // Non-edge switches carry no NetSparse extensions.
+                        sw_cfg.cache.capacity_bytes = 0;
+                        MiddlePipes::new(&sw_cfg, payload.max(1))
+                    },
+                    concat: ConcatPoint::new(switch_concat_cfg, cfg.concat_impl),
+                    concat_sched: None,
+                    netsparse: edge && cfg.mechanisms.netsparse_switch(),
+                }
+            })
+            .collect();
+
+        World {
+            cfg,
+            wl,
+            net,
+            links,
+            from_nic,
+            downlink,
+            from_switch,
+            nodes,
+            switches,
+            cycle,
+            server_svc,
+            cache_lat: cfg
+                .switch_clock()
+                .cycles(cfg.switch.cache.latency_cycles as u64),
+            switch_lat: cfg.switch_latency(),
+            pcie_lat: cfg.pcie_latency(),
+            payload,
+            loss_rng: SplitMix64::new(cfg.faults.seed ^ 0x10DD_F00D),
+            dropped_packets: 0,
+            pr_latency: Reservoir::new(4_096, 0x01A7_E0C1),
+        }
+    }
+
+    fn send_from_nic(
+        &mut self,
+        node: u32,
+        at: SimTime,
+        pkt: ConcatPacket,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        let (link, sw) = self.from_nic[node as usize];
+        let bytes = pkt.wire_bytes;
+        let arrive = self.links[link.0 as usize].transmit(at.max(sched.now()), bytes);
+        sched.schedule(
+            arrive,
+            Event::PacketAtSwitch {
+                switch: sw,
+                from_nic: true,
+                pkt,
+            },
+        );
+    }
+
+    fn send_from_switch(
+        &mut self,
+        sw: u32,
+        at: SimTime,
+        pkt: ConcatPacket,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        let (link, to) = self.from_switch[sw as usize][pkt.dest as usize]
+            .expect("deterministic route must exist for every destination");
+        let bytes = pkt.wire_bytes;
+        let arrive = self.links[link.0 as usize].transmit(at.max(sched.now()), bytes);
+        match to {
+            Element::Switch(next) => sched.schedule(
+                arrive,
+                Event::PacketAtSwitch {
+                    switch: next.0,
+                    from_nic: false,
+                    pkt,
+                },
+            ),
+            Element::Nic(n) => sched.schedule(arrive, Event::PacketAtNic { node: n, pkt }),
+        }
+    }
+
+    /// (Re-)schedules the earliest pending concatenator expiry for a NIC.
+    fn arm_nic_concat(&mut self, node: u32, sched: &mut Scheduler<'_, Event>) {
+        let st = &mut self.nodes[node as usize];
+        if let Some(t) = st.concat.next_expiry() {
+            let t = t.max(sched.now());
+            if st.concat_sched.is_none_or(|cur| t < cur) {
+                st.concat_sched = Some(t);
+                sched.schedule(t, Event::NicConcatExpire { node });
+            }
+        }
+    }
+
+    fn arm_switch_concat(&mut self, sw: u32, sched: &mut Scheduler<'_, Event>) {
+        let st = &mut self.switches[sw as usize];
+        if let Some(t) = st.concat.next_expiry() {
+            let t = t.max(sched.now());
+            if st.concat_sched.is_none_or(|cur| t < cur) {
+                st.concat_sched = Some(t);
+                sched.schedule(t, Event::SwitchConcatExpire { switch: sw });
+            }
+        }
+    }
+
+    fn host_issue(&mut self, now: SimTime, node: u32, sched: &mut Scheduler<'_, Event>) {
+        let batch = self.cfg.batch_size.max(1);
+        let host_cmd = SimTime::from_ns(self.cfg.host_cmd_ns);
+        let idx_buffer = self.cfg.snic.idx_buffer_bytes as u64;
+        let stream_len = self.wl.stream(node).len();
+        let st = &mut self.nodes[node as usize];
+        if st.stream_pos >= stream_len {
+            return;
+        }
+        if self.cfg.adaptive_batch && st.active_cmds >= st.concurrency_limit {
+            return; // re-triggered when a command completes
+        }
+        let Some(unit_id) = st.units.iter().position(|u| u.state == UnitState::Idle) else {
+            return; // re-triggered when a command completes
+        };
+        // The host core serializes command issues.
+        let t_cmd = st.host_busy.max(now) + host_cmd;
+        st.host_busy = t_cmd;
+        let start = st.stream_pos;
+        let end = (start + batch).min(stream_len);
+        st.stream_pos = end;
+        st.active_cmds += 1;
+        // Idx batch DMA: the unit starts once the first Idx Buffer chunk
+        // has crossed PCIe; the full batch is charged to the link.
+        let bytes = (end - start) as u64 * 4;
+        let first_chunk = bytes.min(idx_buffer);
+        st.pcie_h2d.transmit(t_cmd, bytes);
+        let start_t = t_cmd
+            + self.pcie_lat
+            + self.nodes[node as usize]
+                .pcie_h2d
+                .params()
+                .serialization(first_chunk);
+        let st = &mut self.nodes[node as usize];
+        let unit = &mut st.units[unit_id];
+        unit.cmd = Some((start, end));
+        unit.pos = start;
+        unit.state = UnitState::Running;
+        unit.generation += 1;
+        unit.received_this_cmd.clear();
+        let generation = unit.generation;
+        sched.schedule(
+            start_t,
+            Event::ClientProcess {
+                node,
+                unit: unit_id as u16,
+            },
+        );
+        if self.cfg.faults.watchdog_ns > 0 {
+            sched.schedule(
+                start_t + SimTime::from_ns(self.cfg.faults.watchdog_ns),
+                Event::Watchdog {
+                    node,
+                    unit: unit_id as u16,
+                    generation,
+                },
+            );
+        }
+        // Chain: keep issuing while units are free and commands remain.
+        let below_limit = !self.cfg.adaptive_batch
+            || self.nodes[node as usize].active_cmds
+                < self.nodes[node as usize].concurrency_limit;
+        let st = &self.nodes[node as usize];
+        if st.stream_pos < stream_len
+            && below_limit
+            && st.units.iter().any(|u| u.state == UnitState::Idle)
+        {
+            sched.schedule(t_cmd, Event::HostIssue { node });
+        }
+    }
+
+    fn client_process(
+        &mut self,
+        now: SimTime,
+        node: u32,
+        unit_id: u16,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        let chunk = self.cfg.snic.idx_chunk();
+        let mechanisms = self.cfg.mechanisms;
+        let cycle = self.cycle;
+        let stream = self.wl.stream(node);
+        let partition = self.wl.partition();
+        let mut out: Vec<(SimTime, ConcatPacket)> = Vec::new();
+        let mut command_done = false;
+
+        {
+            let st = &mut self.nodes[node as usize];
+            let NodeState {
+                units,
+                filter,
+                concat,
+                issue_times,
+                ..
+            } = st;
+            let unit = &mut units[unit_id as usize];
+            let Some((_, end)) = unit.cmd else {
+                return; // spurious wakeup after completion
+            };
+            debug_assert!(matches!(unit.state, UnitState::Running));
+            let mut cycles: u64 = 0;
+            let mut processed = 0usize;
+            while processed < chunk && unit.pos < end {
+                let idx = stream[unit.pos];
+                let is_local = partition.is_local(node, idx);
+                match unit.rig.process_idx(
+                    idx,
+                    is_local,
+                    mechanisms.coalesce,
+                    mechanisms.filter,
+                    filter,
+                ) {
+                    IdxOutcome::Stalled => {
+                        unit.state = UnitState::Stalled;
+                        break;
+                    }
+                    IdxOutcome::Issued(pr) => {
+                        cycles += 1;
+                        processed += 1;
+                        unit.pos += 1;
+                        let t_pr = now + cycle * cycles;
+                        issue_times.insert((unit_id, idx), t_pr);
+                        let dest = partition.owner(idx);
+                        for pkt in concat.push(t_pr, dest, PrKind::Read, pr, 0) {
+                            out.push((t_pr, pkt));
+                        }
+                    }
+                    IdxOutcome::Local | IdxOutcome::Filtered | IdxOutcome::Coalesced => {
+                        cycles += 1;
+                        processed += 1;
+                        unit.pos += 1;
+                    }
+                }
+            }
+            let t_end = now + cycle * cycles.max(1);
+            if unit.state == UnitState::Stalled {
+                // Woken by the next response.
+            } else if unit.pos >= end {
+                if unit.rig.outstanding() == 0 {
+                    command_done = true;
+                } else {
+                    unit.state = UnitState::Draining;
+                }
+            } else {
+                sched.schedule(
+                    t_end,
+                    Event::ClientProcess {
+                        node,
+                        unit: unit_id,
+                    },
+                );
+            }
+        }
+
+        for (t, pkt) in out {
+            self.send_from_nic(node, t, pkt, sched);
+        }
+        self.arm_nic_concat(node, sched);
+        if command_done {
+            self.complete_command(now, node, unit_id, sched);
+        }
+    }
+
+    fn complete_command(
+        &mut self,
+        now: SimTime,
+        node: u32,
+        unit_id: u16,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        let pcie_lat = self.pcie_lat;
+        let adaptive = self.cfg.adaptive_batch;
+        let st = &mut self.nodes[node as usize];
+        let unit = &mut st.units[unit_id as usize];
+        if unit.cmd.is_none() {
+            // Already completed (e.g. two duplicate responses for this
+            // unit landed in one packet with coalescing disabled).
+            return;
+        }
+        unit.cmd = None;
+        unit.state = UnitState::Idle;
+        unit.generation += 1;
+        unit.received_this_cmd.clear();
+        st.active_cmds -= 1;
+        if adaptive {
+            // §9.4 adaptive control: cross-unit duplicate responses mean
+            // concurrent commands are re-fetching each other's columns —
+            // halve the concurrency (AIMD); clean intervals grow it.
+            let dup = st.dup_responses - st.last_dup;
+            let resp = st.responses - st.last_resp;
+            st.last_dup = st.dup_responses;
+            st.last_resp = st.responses;
+            if resp > 0 {
+                // Thresholds are deliberately permissive: duplicates are
+                // only worth trading concurrency for when they dominate
+                // the response stream (their absolute byte cost is small
+                // for high-reuse matrices with small unique sets).
+                let rate = dup as f64 / resp as f64;
+                if rate > 0.25 {
+                    st.concurrency_limit = (st.concurrency_limit / 2).max(2);
+                } else if rate < 0.05 {
+                    st.concurrency_limit = (st.concurrency_limit + 1).min(st.units.len());
+                }
+            }
+        }
+        if st.stream_pos < self.wl.stream(node).len() {
+            // Completion notification crosses PCIe before the host reacts.
+            sched.schedule(now + pcie_lat, Event::HostIssue { node });
+        } else if st.active_cmds == 0 {
+            st.finish = Some(st.finish.map_or(now, |f| f.max(now)));
+        }
+    }
+
+    fn packet_at_nic(
+        &mut self,
+        now: SimTime,
+        node: u32,
+        pkt: ConcatPacket,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        match pkt.kind {
+            PrKind::Read => self.serve_reads(now, node, pkt, sched),
+            PrKind::Response => self.accept_responses(now, node, pkt, sched),
+        }
+    }
+
+    /// Server path: fetch each requested property over PCIe and emit a
+    /// response PR.
+    fn serve_reads(
+        &mut self,
+        now: SimTime,
+        node: u32,
+        pkt: ConcatPacket,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        debug_assert_eq!(pkt.dest, node, "read packet delivered to wrong node");
+        let payload = self.payload;
+        let svc = self.server_svc;
+        let pcie_lat = self.pcie_lat;
+        let mut out: Vec<(SimTime, ConcatPacket)> = Vec::new();
+        {
+            let st = &mut self.nodes[node as usize];
+            for pr in pkt.prs {
+                let t = st.server_busy.max(now) + svc;
+                st.server_busy = t;
+                st.pcie_h2d.transmit(t, payload as u64);
+                let t_resp = t + pcie_lat;
+                for p in st
+                    .concat
+                    .push(t_resp, pr.src_node, PrKind::Response, pr, payload)
+                {
+                    out.push((t_resp, p));
+                }
+            }
+        }
+        for (t, p) in out {
+            self.send_from_nic(node, t, p, sched);
+        }
+        self.arm_nic_concat(node, sched);
+    }
+
+    /// Client path: deliver arrived properties, clear pending entries, set
+    /// filter bits, wake stalled units, complete commands.
+    fn accept_responses(
+        &mut self,
+        now: SimTime,
+        node: u32,
+        pkt: ConcatPacket,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        debug_assert_eq!(pkt.dest, node, "response packet delivered to wrong node");
+        let payload = self.payload as u64;
+        let mut wake: Vec<u16> = Vec::new();
+        let mut completed: Vec<u16> = Vec::new();
+        {
+            let st = &mut self.nodes[node as usize];
+            for pr in pkt.prs {
+                let NodeState {
+                    units,
+                    filter,
+                    received,
+                    issue_times,
+                    ..
+                } = st;
+                if let Some(t_issue) = issue_times.remove(&(pr.src_tid, pr.idx)) {
+                    self.pr_latency.record(now.saturating_sub(t_issue).as_ps());
+                }
+                let unit = &mut units[pr.src_tid as usize];
+                unit.rig.complete(pr.idx, filter);
+                if unit.cmd.is_some() {
+                    unit.received_this_cmd.push(pr.idx);
+                }
+                if !received.insert(pr.idx) {
+                    st.dup_responses += 1;
+                }
+                st.responses += 1;
+                st.rx_payload += payload;
+                st.pcie_d2h.transmit(now, payload);
+                let unit = &mut st.units[pr.src_tid as usize];
+                match unit.state {
+                    UnitState::Stalled => {
+                        unit.state = UnitState::Running;
+                        wake.push(pr.src_tid);
+                    }
+                    UnitState::Draining if unit.rig.outstanding() == 0 => {
+                        completed.push(pr.src_tid);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for u in wake {
+            sched.schedule(now, Event::ClientProcess { node, unit: u });
+        }
+        for u in completed {
+            self.complete_command(now, node, u, sched);
+        }
+    }
+
+    fn packet_at_switch(
+        &mut self,
+        now: SimTime,
+        sw: u32,
+        from_nic: bool,
+        pkt: ConcatPacket,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        // §7.1: hardware-failure packet loss, injected per switch
+        // traversal. Detection/recovery is the RIG watchdog.
+        if self.cfg.faults.loss_rate > 0.0 && self.loss_rng.chance(self.cfg.faults.loss_rate) {
+            self.dropped_packets += 1;
+            return;
+        }
+        let t = now + self.switch_lat;
+        let topo = *self.net.topology();
+        let process = self.switches[sw as usize].netsparse
+            && (from_nic || topo.edge_switch_of(pkt.dest).0 == sw);
+        if !process {
+            self.send_from_switch(sw, t, pkt, sched);
+            return;
+        }
+
+        let cache_on = self.cfg.mechanisms.property_cache;
+        let payload = self.payload;
+        let t_pr = if cache_on { t + self.cache_lat } else { t };
+        let partition = self.wl.partition();
+        let mut out: Vec<(SimTime, ConcatPacket)> = Vec::new();
+        {
+            let st = &mut self.switches[sw as usize];
+            match pkt.kind {
+                PrKind::Read => {
+                    let home = pkt.dest;
+                    let cacheable =
+                        cache_on && st.pipes.enabled() && topo.edge_switch_of(home).0 != sw;
+                    for pr in pkt.prs {
+                        if cacheable && st.pipes.lookup(home, pr.idx) {
+                            // Hit: the read becomes a response to its source.
+                            for p in
+                                st.concat
+                                    .push(t_pr, pr.src_node, PrKind::Response, pr, payload)
+                            {
+                                out.push((t_pr, p));
+                            }
+                        } else {
+                            for p in st.concat.push(t_pr, home, PrKind::Read, pr, 0) {
+                                out.push((t_pr, p));
+                            }
+                        }
+                    }
+                }
+                PrKind::Response => {
+                    let requester = pkt.dest;
+                    for pr in pkt.prs {
+                        let home = partition.owner(pr.idx);
+                        if cache_on && st.pipes.enabled() && topo.edge_switch_of(home).0 != sw {
+                            st.pipes.insert(home, pr.idx);
+                        }
+                        for p in st
+                            .concat
+                            .push(t_pr, requester, PrKind::Response, pr, payload)
+                        {
+                            out.push((t_pr, p));
+                        }
+                    }
+                }
+            }
+        }
+        for (at, p) in out {
+            self.send_from_switch(sw, at, p, sched);
+        }
+        self.arm_switch_concat(sw, sched);
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Event, sched: &mut Scheduler<'_, Event>) {
+        match ev {
+            Event::HostIssue { node } => self.host_issue(now, node, sched),
+            Event::ClientProcess { node, unit } => self.client_process(now, node, unit, sched),
+            Event::NicConcatExpire { node } => {
+                self.nodes[node as usize].concat_sched = None;
+                let pkts = self.nodes[node as usize].concat.flush_expired(now);
+                for p in pkts {
+                    self.send_from_nic(node, now, p, sched);
+                }
+                self.arm_nic_concat(node, sched);
+            }
+            Event::SwitchConcatExpire { switch } => {
+                self.switches[switch as usize].concat_sched = None;
+                let pkts = self.switches[switch as usize].concat.flush_expired(now);
+                for p in pkts {
+                    self.send_from_switch(switch, now, p, sched);
+                }
+                self.arm_switch_concat(switch, sched);
+            }
+            Event::PacketAtSwitch {
+                switch,
+                from_nic,
+                pkt,
+            } => self.packet_at_switch(now, switch, from_nic, pkt, sched),
+            Event::PacketAtNic { node, pkt } => self.packet_at_nic(now, node, pkt, sched),
+            Event::Watchdog {
+                node,
+                unit,
+                generation,
+            } => self.watchdog(now, node, unit, generation, sched),
+        }
+    }
+
+    /// §7.1 recovery: the RIG operation timed out. Discard the partial
+    /// gather (drop its filter bits and received records), abandon
+    /// outstanding PRs, and restart the command from its first idx.
+    fn watchdog(
+        &mut self,
+        now: SimTime,
+        node: u32,
+        unit_id: u16,
+        generation: u64,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        let watchdog = SimTime::from_ns(self.cfg.faults.watchdog_ns);
+        let st = &mut self.nodes[node as usize];
+        let NodeState {
+            units,
+            filter,
+            received,
+            ..
+        } = st;
+        let unit = &mut units[unit_id as usize];
+        if unit.generation != generation || unit.cmd.is_none() {
+            return; // the command completed; stand down
+        }
+        unit.retries += 1;
+        for idx in unit.received_this_cmd.drain(..) {
+            filter.remove(idx);
+            received.remove(&idx);
+        }
+        unit.rig.reset_pending();
+        let (start, _) = unit.cmd.expect("checked above");
+        unit.pos = start;
+        unit.generation += 1;
+        let generation = unit.generation;
+        let was_running = unit.state == UnitState::Running;
+        unit.state = UnitState::Running;
+        if !was_running {
+            sched.schedule(
+                now,
+                Event::ClientProcess {
+                    node,
+                    unit: unit_id,
+                },
+            );
+        }
+        sched.schedule(
+            now + watchdog,
+            Event::Watchdog {
+                node,
+                unit: unit_id,
+                generation,
+            },
+        );
+    }
+
+    fn into_report(self, events: u64) -> SimReport {
+        let k = self.cfg.k;
+        let mut prs_per_packet = Histogram::new();
+        for n in &self.nodes {
+            prs_per_packet.merge(n.concat.prs_per_packet());
+        }
+        let mut cache_lookups = 0;
+        let mut cache_hits = 0;
+        for s in &self.switches {
+            prs_per_packet.merge(s.concat.prs_per_packet());
+            let cs = s.pipes.stats();
+            cache_lookups += cs.lookups;
+            cache_hits += cs.hits;
+        }
+        let total_link_bytes = self.links.iter().map(|l| l.bytes()).sum();
+        let comm_end = self
+            .nodes
+            .iter()
+            .filter_map(|n| n.finish)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let describe = |e: Element| match e {
+            Element::Nic(n) => format!("nic {n}"),
+            Element::Switch(s) => format!("switch {}", s.0),
+        };
+        let mut ranked: Vec<(u64, u32)> = self
+            .links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.bytes() > 0)
+            .map(|(i, l)| (l.bytes(), i as u32))
+            .collect();
+        ranked.sort_unstable_by(|a, b| b.cmp(a));
+        let hot_links: Vec<HotLink> = ranked
+            .into_iter()
+            .take(5)
+            .map(|(bytes, i)| {
+                let (from, to) = self.net.link_ends(netsparse_netsim::LinkId(i));
+                HotLink {
+                    from: describe(from),
+                    to: describe(to),
+                    bytes,
+                    utilization: self.links[i as usize].utilization(comm_end),
+                }
+            })
+            .collect();
+        // Worst output-queue backlog across all links, expressed in bytes
+        // at the line rate: the switch packet-buffer occupancy audit.
+        let max_backlog = self
+            .links
+            .iter()
+            .map(|l| (l.max_backlog().as_secs_f64() * l.params().bandwidth_bps / 8.0) as u64)
+            .max()
+            .unwrap_or(0);
+        let mut functional = true;
+        let nodes: Vec<NodeReport> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(p, n)| {
+                if n.received != n.needed {
+                    functional = false;
+                }
+                let mut r = NodeReport {
+                    idxs_scanned: self.wl.stream(p as u32).len() as u64,
+                    responses: n.responses,
+                    duplicate_responses: n.dup_responses,
+                    rx_payload_bytes: n.rx_payload,
+                    rx_wire_bytes: self.links[self.downlink[p].0 as usize].bytes(),
+                    tx_wire_bytes: self.links[self.from_nic[p].0 .0 as usize].bytes(),
+                    finish: n.finish.unwrap_or(SimTime::ZERO),
+                    ..NodeReport::default()
+                };
+                for u in &n.units {
+                    let s = u.rig.stats();
+                    r.local += s.local;
+                    r.filtered += s.filtered;
+                    r.coalesced += s.coalesced;
+                    r.issued += s.issued;
+                    r.stalls += s.stalls;
+                    r.watchdog_retries += u.retries;
+                }
+                if n.finish.is_none() {
+                    functional = false;
+                }
+                r
+            })
+            .collect();
+        let comm_time = nodes
+            .iter()
+            .map(|n| n.finish)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        SimReport {
+            k,
+            nodes,
+            comm_time,
+            prs_per_packet,
+            cache_lookups,
+            cache_hits,
+            total_link_bytes,
+            line_rate_bps: self.cfg.link.bandwidth_bps,
+            functional_check_passed: functional,
+            events,
+            dropped_packets: self.dropped_packets,
+            pr_latency: self.pr_latency,
+            max_link_backlog_bytes: max_backlog,
+            hot_links,
+        }
+    }
+}
+
+/// Runs the communication phase of one distributed sparse kernel under
+/// `cfg` and returns the full report.
+///
+/// # Panics
+///
+/// Panics if the workload's node count differs from the topology's.
+///
+/// # Example
+///
+/// See the crate-level example.
+pub fn simulate(cfg: &ClusterConfig, wl: &CommWorkload) -> SimReport {
+    assert!(
+        cfg.faults.loss_rate == 0.0 || cfg.faults.watchdog_ns > 0,
+        "packet loss without a watchdog would hang the kernel (see §7.1)"
+    );
+    let mut world = World::new(cfg, wl);
+    let mut engine: Engine<Event> = Engine::new();
+    for node in 0..wl.nodes() {
+        if !wl.stream(node).is_empty() {
+            engine.schedule(SimTime::ZERO, Event::HostIssue { node });
+        }
+    }
+    // The run drains naturally: every queued PR has an armed expiry and
+    // every outstanding PR a response in flight.
+    engine.run(|now, ev, sched| world.handle(now, ev, sched));
+    world.into_report(engine.processed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mechanisms;
+    use crate::metrics::SimReport;
+    use netsparse_netsim::Topology;
+    use netsparse_sparse::Partition1D;
+
+    fn small_topo() -> Topology {
+        Topology::LeafSpine {
+            racks: 2,
+            rack_size: 4,
+            spines: 2,
+        }
+    }
+
+    /// 8 nodes; node 0 references properties of nodes 1 (same rack) and
+    /// 4 (other rack), with repeats.
+    fn tiny_workload() -> CommWorkload {
+        let part = Partition1D::even(8 * 16, 8);
+        let mut streams: Vec<Vec<u32>> = vec![vec![]; 8];
+        streams[0] = vec![16, 17, 16, 64, 65, 64, 0, 1, 16];
+        streams[2] = vec![64, 65, 66]; // same rack as 0, shares node 4's idxs
+        CommWorkload::from_streams(part, vec![16; 8], streams)
+    }
+
+    fn cfg(k: u32) -> ClusterConfig {
+        ClusterConfig::mini(small_topo(), k)
+    }
+
+    #[test]
+    fn tiny_run_is_functionally_correct() {
+        let wl = tiny_workload();
+        let r = simulate(&cfg(16), &wl);
+        assert!(r.functional_check_passed);
+        // Node 0 needed {16, 17, 64, 65}: responses = 4 with filtering.
+        assert_eq!(r.nodes[0].responses, 4);
+        assert_eq!(r.nodes[0].issued, 4);
+        assert_eq!(r.nodes[0].local, 2);
+        assert_eq!(r.nodes[0].filtered + r.nodes[0].coalesced, 3);
+        // Node 2 needed {64, 65, 66}.
+        assert_eq!(r.nodes[2].responses, 3);
+        // Idle nodes finish instantly.
+        assert_eq!(r.nodes[7].finish, SimTime::ZERO);
+        assert!(r.comm_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn disabling_filter_and_coalesce_issues_every_remote_ref() {
+        let wl = tiny_workload();
+        let mut c = cfg(16);
+        c.mechanisms = Mechanisms {
+            filter: false,
+            coalesce: false,
+            ..Mechanisms::all()
+        };
+        let r = simulate(&c, &wl);
+        assert!(r.functional_check_passed);
+        // All 7 remote refs of node 0 become PRs.
+        assert_eq!(r.nodes[0].issued, 7);
+        assert_eq!(r.nodes[0].responses, 7);
+        assert_eq!(r.nodes[0].duplicate_responses, 3);
+    }
+
+    #[test]
+    fn rig_only_matches_full_on_traffic_ordering() {
+        let wl = tiny_workload();
+        let mut c = cfg(16);
+        c.mechanisms = Mechanisms::rig_only();
+        let rig = simulate(&c, &wl);
+        let full = simulate(&cfg(16), &wl);
+        assert!(rig.functional_check_passed && full.functional_check_passed);
+        // The full design never moves more bytes than RIG-only.
+        assert!(full.total_link_bytes <= rig.total_link_bytes);
+    }
+
+    #[test]
+    fn property_cache_serves_rack_sharing() {
+        // Node 0 and node 2 (same rack) both need node 4's properties.
+        // Whichever asks second should hit the ToR cache.
+        let wl = tiny_workload();
+        let r = simulate(&cfg(16), &wl);
+        assert!(r.cache_lookups > 0);
+        // Cache hits are possible but timing-dependent; inserts must have
+        // happened for the inter-rack responses.
+        assert!(r.functional_check_passed);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let wl = tiny_workload();
+        let a = simulate(&cfg(16), &wl);
+        let b = simulate(&cfg(16), &wl);
+        assert_eq!(a.comm_time, b.comm_time);
+        assert_eq!(a.total_link_bytes, b.total_link_bytes);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn larger_k_means_more_bytes() {
+        let wl = tiny_workload();
+        let r16 = simulate(&cfg(16), &wl);
+        let r128 = simulate(&cfg(128), &wl);
+        assert!(r128.total_link_bytes > r16.total_link_bytes);
+    }
+
+    #[test]
+    fn adaptive_throttle_reduces_duplicates_for_reuse_heavy_workloads() {
+        // A small batch size over a reuse-heavy (arabic-like) workload
+        // maximizes concurrent-command overlap; the adaptive controller
+        // should cut duplicate responses without breaking delivery.
+        let wl = netsparse_sparse::suite::SuiteConfig {
+            matrix: netsparse_sparse::SuiteMatrix::Arabic,
+            nodes: 8,
+            rack_size: 4,
+            scale: 0.2,
+            seed: 9,
+        }
+        .generate();
+        let topo = Topology::LeafSpine {
+            racks: 2,
+            rack_size: 4,
+            spines: 2,
+        };
+        let mut fixed = ClusterConfig::mini(topo, 16);
+        fixed.batch_size = 256;
+        let mut adaptive = fixed.clone();
+        adaptive.adaptive_batch = true;
+        let r_fixed = simulate(&fixed, &wl);
+        let r_adapt = simulate(&adaptive, &wl);
+        assert!(r_fixed.functional_check_passed && r_adapt.functional_check_passed);
+        let dups = |r: &SimReport| -> u64 { r.nodes.iter().map(|n| n.duplicate_responses).sum() };
+        assert!(
+            dups(&r_adapt) <= dups(&r_fixed),
+            "adaptive {} vs fixed {} duplicates",
+            dups(&r_adapt),
+            dups(&r_fixed)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "node count")]
+    fn mismatched_workload_panics() {
+        let part = Partition1D::even(64, 4);
+        let wl = CommWorkload::from_streams(part, vec![16; 4], vec![vec![]; 4]);
+        simulate(&cfg(16), &wl);
+    }
+}

@@ -1,0 +1,367 @@
+//! The event queue and the simulation driver.
+//!
+//! [`EventQueue`] is a deterministic priority queue of `(time, event)` pairs:
+//! ties in time are broken by insertion order, so a simulation is a pure
+//! function of its inputs. [`Engine`] wraps the queue with a run loop and
+//! bookkeeping (event counts, horizon limits) and hands each handler a
+//! [`Scheduler`] view through which new events are pushed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timestamped events.
+///
+/// Events that share a timestamp are delivered in the order they were
+/// scheduled (FIFO), which makes simulations reproducible run-to-run and
+/// across machines.
+///
+/// # Example
+///
+/// ```
+/// use netsparse_desim::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_ns(5), "b");
+/// q.push(SimTime::from_ns(1), "a");
+/// q.push(SimTime::from_ns(5), "c");
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(1), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(5), "b")));
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(5), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    #[inline]
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The timestamp of the earliest pending event.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// The scheduling interface handed to event handlers.
+///
+/// A `Scheduler` only exposes *pushing* events; popping is owned by the
+/// [`Engine`] run loop. Handlers may schedule at the current time or later.
+pub struct Scheduler<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    now: SimTime,
+}
+
+impl<E> Scheduler<'_, E> {
+    /// The current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past — causality violations are always
+    /// bugs in a model, and failing loudly here localizes them.
+    #[inline]
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "attempted to schedule event in the past: now={}, requested={}",
+            self.now,
+            time
+        );
+        self.queue.push(time, event);
+    }
+
+    /// Schedules `event` after a relative delay from now.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedules `event` at the current instant (delivered after all events
+    /// already queued for this instant, preserving FIFO order).
+    #[inline]
+    pub fn schedule_now(&mut self, event: E) {
+        self.queue.push(self.now, event);
+    }
+}
+
+/// The simulation driver: an [`EventQueue`] plus a run loop.
+///
+/// `Engine` is generic over the event payload so different simulators (the
+/// full NetSparse cluster, component test benches, microbenchmarks) can
+/// reuse the same kernel. See the crate-level example for usage.
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+    max_events: Option<u64>,
+    horizon: SimTime,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine at time zero with no event or horizon limits.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+            max_events: None,
+            horizon: SimTime::MAX,
+        }
+    }
+
+    /// Limits the total number of events processed by [`Engine::run`];
+    /// useful as a runaway guard in tests.
+    pub fn with_max_events(mut self, max: u64) -> Self {
+        self.max_events = Some(max);
+        self
+    }
+
+    /// Stops the run loop once simulated time passes `horizon` (events at
+    /// exactly `horizon` still run).
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Schedules an event from outside the run loop (initial stimulus).
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "attempted to schedule event in the past: now={}, requested={}",
+            self.now,
+            time
+        );
+        self.queue.push(time, event);
+    }
+
+    /// The current simulation time (the timestamp of the last event run).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Runs until the queue drains (or a limit is hit), delivering each
+    /// event to `handler` along with the current time and a [`Scheduler`].
+    ///
+    /// Returns the final simulation time.
+    pub fn run<F>(&mut self, mut handler: F) -> SimTime
+    where
+        F: FnMut(SimTime, E, &mut Scheduler<'_, E>),
+    {
+        while let Some((time, event)) = self.queue.pop() {
+            if time > self.horizon {
+                // Past the horizon: drop the event and stop.
+                break;
+            }
+            debug_assert!(time >= self.now, "event queue violated time order");
+            self.now = time;
+            self.processed += 1;
+            let mut sched = Scheduler {
+                queue: &mut self.queue,
+                now: time,
+            };
+            handler(time, event, &mut sched);
+            if let Some(max) = self.max_events {
+                if self.processed >= max {
+                    break;
+                }
+            }
+        }
+        self.now
+    }
+
+    /// Runs a single event if one is pending; returns whether it did.
+    pub fn step<F>(&mut self, mut handler: F) -> bool
+    where
+        F: FnMut(SimTime, E, &mut Scheduler<'_, E>),
+    {
+        if let Some((time, event)) = self.queue.pop() {
+            self.now = time;
+            self.processed += 1;
+            let mut sched = Scheduler {
+                queue: &mut self.queue,
+                now: time,
+            };
+            handler(time, event, &mut sched);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(2), 20);
+        q.push(SimTime::from_ns(1), 10);
+        q.push(SimTime::from_ns(2), 21);
+        q.push(SimTime::from_ns(1), 11);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![10, 11, 20, 21]);
+    }
+
+    #[test]
+    fn engine_runs_cascading_events() {
+        #[derive(Debug)]
+        enum Ev {
+            Tick(u32),
+        }
+        let mut engine: Engine<Ev> = Engine::new();
+        engine.schedule(SimTime::ZERO, Ev::Tick(0));
+        let mut count = 0u32;
+        let end = engine.run(|now, Ev::Tick(n), sched| {
+            count += 1;
+            if n < 9 {
+                sched.schedule(now + SimTime::from_ns(10), Ev::Tick(n + 1));
+            }
+        });
+        assert_eq!(count, 10);
+        assert_eq!(end, SimTime::from_ns(90));
+        assert_eq!(engine.processed(), 10);
+        assert_eq!(engine.pending(), 0);
+    }
+
+    #[test]
+    fn horizon_stops_the_run() {
+        let mut engine: Engine<u32> = Engine::new().with_horizon(SimTime::from_ns(25));
+        for i in 0..10 {
+            engine.schedule(SimTime::from_ns(i * 10), i as u32);
+        }
+        let mut seen = Vec::new();
+        engine.run(|_, e, _| seen.push(e));
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn max_events_guard() {
+        let mut engine: Engine<()> = Engine::new().with_max_events(3);
+        engine.schedule(SimTime::ZERO, ());
+        engine.run(|now, (), sched| sched.schedule(now + SimTime::from_ns(1), ()));
+        assert_eq!(engine.processed(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut engine: Engine<u8> = Engine::new();
+        engine.schedule(SimTime::from_ns(10), 1);
+        engine.run(|_, _, sched| {
+            sched.schedule(SimTime::from_ns(5), 2);
+        });
+    }
+
+    #[test]
+    fn schedule_now_preserves_fifo_at_same_instant() {
+        let mut engine: Engine<u8> = Engine::new();
+        engine.schedule(SimTime::from_ns(1), 0);
+        let mut seen = Vec::new();
+        engine.run(|_, e, sched| {
+            seen.push(e);
+            if e == 0 {
+                sched.schedule_now(1);
+                sched.schedule_now(2);
+            }
+        });
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn step_processes_one_event() {
+        let mut engine: Engine<u8> = Engine::new();
+        engine.schedule(SimTime::from_ns(1), 7);
+        let mut got = None;
+        assert!(engine.step(|_, e, _| got = Some(e)));
+        assert_eq!(got, Some(7));
+        assert!(!engine.step(|_, _, _| ()));
+    }
+}

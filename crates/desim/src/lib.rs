@@ -1,0 +1,47 @@
+//! Discrete-event simulation engine for the NetSparse reproduction.
+//!
+//! This crate is the bottom-most substrate of the workspace: a small,
+//! deterministic, allocation-conscious discrete-event kernel in the spirit of
+//! the SST core the paper uses, plus the measurement utilities (counters,
+//! histograms, time series) every other crate reports statistics with.
+//!
+//! The engine is deliberately generic: the event payload type is chosen by
+//! the embedding simulator (see the `netsparse` core crate), and components
+//! in the other crates are written as *passive state machines* that are
+//! driven by the event loop rather than owning threads or channels. That
+//! makes every hardware model unit-testable without an event loop, and makes
+//! whole-cluster simulations single-threaded and perfectly reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use netsparse_desim::{Engine, SimTime};
+//!
+//! // A one-shot "ping-pong" model: each Ping schedules a Pong 5 ns later.
+//! #[derive(Debug, PartialEq, Eq)]
+//! enum Ev { Ping(u32), Pong(u32) }
+//!
+//! let mut engine: Engine<Ev> = Engine::new();
+//! engine.schedule(SimTime::from_ns(1), Ev::Ping(7));
+//! let mut log = Vec::new();
+//! engine.run(|now, ev, sched| {
+//!     match ev {
+//!         Ev::Ping(x) => sched.schedule(now + SimTime::from_ns(5), Ev::Pong(x)),
+//!         Ev::Pong(x) => log.push((now, x)),
+//!     }
+//! });
+//! assert_eq!(log, vec![(SimTime::from_ns(6), 7)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Engine, EventQueue, Scheduler};
+pub use rng::SplitMix64;
+pub use stats::{Counter, Histogram, RateMeter, Reservoir, TimeSeries};
+pub use time::{Clock, SimTime};

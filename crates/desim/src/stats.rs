@@ -1,0 +1,457 @@
+//! Measurement utilities shared by every model in the workspace.
+//!
+//! All the paper's reported metrics reduce to four primitives:
+//!
+//! - [`Counter`] — monotonically increasing event/byte counts (traffic,
+//!   filtered PRs, cache hits…),
+//! - [`Histogram`] — distributions (PRs per packet, queue depths…),
+//! - [`RateMeter`] — bytes over a time window → bandwidth/goodput,
+//! - [`TimeSeries`] — sampled values over simulated time (Figure 19's
+//!   active-node curve).
+
+use crate::time::SimTime;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use netsparse_desim::Counter;
+/// let mut c = Counter::default();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// This counter as a fraction of `total` (0 when `total` is 0).
+    pub fn fraction_of(&self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total as f64
+        }
+    }
+}
+
+/// A streaming histogram that records count, sum, min, max, and mean without
+/// storing samples.
+///
+/// # Example
+///
+/// ```
+/// use netsparse_desim::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [2, 4, 6] { h.record(v); }
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.mean(), 4.0);
+/// assert_eq!(h.min(), Some(2));
+/// assert_eq!(h.max(), Some(6));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of the samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample, if any were recorded.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest sample, if any were recorded.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+/// Tracks bytes transferred over simulated time and converts to rates.
+///
+/// Used for line utilization and goodput: record *wire* bytes in one meter
+/// and *payload* bytes in another, then divide by elapsed time or by the
+/// line rate.
+///
+/// # Example
+///
+/// ```
+/// use netsparse_desim::{RateMeter, SimTime};
+/// let mut m = RateMeter::new();
+/// m.record(SimTime::from_us(1), 5_000); // 5 KB by t=1us
+/// let gbps = m.rate_gbps(SimTime::from_us(1));
+/// assert!((gbps - 40.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RateMeter {
+    bytes: u64,
+    last: SimTime,
+}
+
+impl RateMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bytes` transferred, stamped at `now`.
+    #[inline]
+    pub fn record(&mut self, now: SimTime, bytes: u64) {
+        self.bytes += bytes;
+        self.last = self.last.max(now);
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Timestamp of the latest recorded transfer.
+    pub fn last_activity(&self) -> SimTime {
+        self.last
+    }
+
+    /// Average rate in bits/s over `[0, elapsed]` (0 for zero elapsed).
+    pub fn rate_bps(&self, elapsed: SimTime) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 * 8.0 / secs
+        }
+    }
+
+    /// Average rate in Gbit/s over `[0, elapsed]`.
+    pub fn rate_gbps(&self, elapsed: SimTime) -> f64 {
+        self.rate_bps(elapsed) / 1e9
+    }
+
+    /// This meter's average rate as a fraction of `line_rate_bps`.
+    pub fn utilization(&self, elapsed: SimTime, line_rate_bps: f64) -> f64 {
+        if line_rate_bps <= 0.0 {
+            0.0
+        } else {
+            self.rate_bps(elapsed) / line_rate_bps
+        }
+    }
+}
+
+/// A bounded-memory sample reservoir for percentile estimates.
+///
+/// Keeps up to `capacity` samples via Vitter's Algorithm R; quantiles are
+/// computed over the retained sample. Used for per-PR latency
+/// distributions, where storing every sample would dwarf the simulation
+/// state.
+///
+/// # Example
+///
+/// ```
+/// use netsparse_desim::stats::Reservoir;
+/// let mut r = Reservoir::new(100, 7);
+/// for v in 0..1000u64 { r.record(v); }
+/// let p50 = r.quantile(0.5).unwrap();
+/// assert!((300..700).contains(&p50));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    capacity: usize,
+    samples: Vec<u64>,
+    seen: u64,
+    rng: crate::rng::SplitMix64,
+}
+
+impl Reservoir {
+    /// Creates a reservoir retaining up to `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "reservoir needs capacity");
+        Reservoir {
+            capacity,
+            samples: Vec::with_capacity(capacity),
+            seen: 0,
+            rng: crate::rng::SplitMix64::new(seed),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.seen += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(value);
+        } else {
+            let j = self.rng.next_range(self.seen);
+            if (j as usize) < self.capacity {
+                self.samples[j as usize] = value;
+            }
+        }
+    }
+
+    /// Total samples offered (not retained).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) over the retained sample, or `None`
+    /// if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+        Some(sorted[rank])
+    }
+}
+
+/// A sampled series of `(time, value)` points over simulated time.
+///
+/// Figure 19 of the paper plots the number of still-active nodes against
+/// normalized execution time; models append samples and the bench harness
+/// resamples onto a normalized grid.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample. Samples must arrive in nondecreasing time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous sample's timestamp.
+    pub fn record(&mut self, now: SimTime, value: f64) {
+        if let Some(&(t, _)) = self.points.last() {
+            assert!(now >= t, "TimeSeries samples must be time-ordered");
+        }
+        self.points.push((now, value));
+    }
+
+    /// The raw samples.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Step-resamples the series at `n` evenly spaced points across
+    /// `[0, end]`, holding the last seen value between samples. Returns an
+    /// empty vector if the series is empty or `n == 0`.
+    pub fn resample(&self, end: SimTime, n: usize) -> Vec<f64> {
+        if self.points.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut idx = 0usize;
+        let mut current = self.points[0].1;
+        for i in 0..n {
+            let t = SimTime::from_ps(((end.as_ps() as u128 * i as u128) / n.max(1) as u128) as u64);
+            while idx < self.points.len() && self.points[idx].0 <= t {
+                current = self.points[idx].1;
+                idx += 1;
+            }
+            out.push(current);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.add(10);
+        c.incr();
+        assert_eq!(c.get(), 11);
+        assert!((c.fraction_of(22) - 0.5).abs() < 1e-12);
+        assert_eq!(c.fraction_of(0), 0.0);
+    }
+
+    #[test]
+    fn histogram_tracks_summary_stats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        for v in [5, 1, 9, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 20);
+        assert_eq!(h.mean(), 5.0);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(9));
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        a.record(2);
+        let mut b = Histogram::new();
+        b.record(10);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(2));
+        assert_eq!(a.max(), Some(10));
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 2);
+    }
+
+    #[test]
+    fn rate_meter_computes_gbps_and_utilization() {
+        let mut m = RateMeter::new();
+        m.record(SimTime::from_us(2), 100_000); // 100 KB in 2 us = 400 Gbps
+        assert!((m.rate_gbps(SimTime::from_us(2)) - 400.0).abs() < 1e-9);
+        let util = m.utilization(SimTime::from_us(2), 400e9);
+        assert!((util - 1.0).abs() < 1e-12);
+        assert_eq!(m.rate_bps(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn timeseries_resamples_with_step_hold() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::ZERO, 128.0);
+        ts.record(SimTime::from_ns(50), 64.0);
+        ts.record(SimTime::from_ns(90), 1.0);
+        let r = ts.resample(SimTime::from_ns(100), 10);
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0], 128.0);
+        assert_eq!(r[4], 128.0); // t=40ns, still 128
+        assert_eq!(r[5], 64.0); // t=50ns
+        assert_eq!(r[9], 1.0); // t=90ns
+    }
+
+    #[test]
+    fn reservoir_is_exact_under_capacity() {
+        let mut r = Reservoir::new(10, 1);
+        for v in [5u64, 1, 9] {
+            r.record(v);
+        }
+        assert_eq!(r.quantile(0.0), Some(1));
+        assert_eq!(r.quantile(1.0), Some(9));
+        assert_eq!(r.quantile(0.5), Some(5));
+        assert_eq!(r.seen(), 3);
+    }
+
+    #[test]
+    fn reservoir_tracks_distribution_over_capacity() {
+        let mut r = Reservoir::new(500, 2);
+        for v in 0..100_000u64 {
+            r.record(v);
+        }
+        let p50 = r.quantile(0.5).unwrap() as f64;
+        assert!((30_000.0..70_000.0).contains(&p50), "{p50}");
+        let p99 = r.quantile(0.99).unwrap() as f64;
+        assert!(p99 > 90_000.0, "{p99}");
+    }
+
+    #[test]
+    fn reservoir_empty_quantile_is_none() {
+        assert_eq!(Reservoir::new(4, 0).quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn timeseries_rejects_unordered_samples() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_ns(10), 1.0);
+        ts.record(SimTime::from_ns(5), 2.0);
+    }
+}

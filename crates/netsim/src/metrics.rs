@@ -1,0 +1,106 @@
+//! Topology metrics: the structural numbers behind the §9.6 discussion.
+//!
+//! The paper attributes Figure 22's HyperX/Dragonfly differences to their
+//! "higher diameter" at "similar bisection bandwidth" to Leaf-Spine. This
+//! module computes those quantities from a constructed [`Network`] so the
+//! claim can be checked rather than assumed.
+
+use crate::topology::{Element, Network};
+
+/// Structural summary of a network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologyMetrics {
+    /// Most switch-to-switch hops on any NIC-to-NIC route.
+    pub diameter_hops: usize,
+    /// Mean hops (links traversed) over all NIC pairs.
+    pub avg_hops: f64,
+    /// Mean switches traversed over all NIC pairs.
+    pub avg_switches: f64,
+    /// Directed links crossing the node-id midpoint cut, as a proxy for
+    /// bisection width (exact for the symmetric topologies used here).
+    pub midpoint_cut_links: u32,
+}
+
+impl TopologyMetrics {
+    /// Computes the metrics of `net` by walking every precomputed route.
+    pub fn of(net: &Network) -> Self {
+        let n = net.nodes();
+        let mut max_hops = 0usize;
+        let mut total_hops = 0u64;
+        let mut total_switches = 0u64;
+        let mut pairs = 0u64;
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let p = net.path(src, dst);
+                max_hops = max_hops.max(p.hops.len());
+                total_hops += p.hops.len() as u64;
+                total_switches += p.switches().count() as u64;
+                pairs += 1;
+            }
+        }
+        // Links whose endpoints' *attached node sets* straddle the
+        // midpoint cut: count switch-switch links used by cross-half
+        // routes (deduplicated).
+        let half = n / 2;
+        let mut cut_links = std::collections::HashSet::new();
+        for src in 0..half {
+            for dst in half..n {
+                for hop in &net.path(src, dst).hops {
+                    let (from, _) = net.link_ends(hop.link);
+                    if matches!(from, Element::Switch(_)) && matches!(hop.to, Element::Switch(_)) {
+                        cut_links.insert(hop.link);
+                    }
+                }
+            }
+        }
+        TopologyMetrics {
+            diameter_hops: max_hops,
+            avg_hops: total_hops as f64 / pairs as f64,
+            avg_switches: total_switches as f64 / pairs as f64,
+            midpoint_cut_links: cut_links.len() as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    #[test]
+    fn leaf_spine_metrics() {
+        let m = TopologyMetrics::of(&Network::new(Topology::leaf_spine_128()));
+        // NIC->ToR->spine->ToR->NIC = 4 hops max; intra-rack pairs pull
+        // the average below that.
+        assert_eq!(m.diameter_hops, 4);
+        assert!(m.avg_hops > 3.0 && m.avg_hops < 4.0, "{}", m.avg_hops);
+        assert!(m.midpoint_cut_links > 0);
+    }
+
+    #[test]
+    fn hyperx_has_the_larger_diameter() {
+        // The paper: HyperX/Dragonfly have "a higher diameter" than
+        // Leaf-Spine at similar bisection bandwidth.
+        let ls = TopologyMetrics::of(&Network::new(Topology::leaf_spine_128()));
+        let hx = TopologyMetrics::of(&Network::new(Topology::hyperx_128()));
+        let df = TopologyMetrics::of(&Network::new(Topology::dragonfly_128()));
+        assert!(hx.diameter_hops > ls.diameter_hops);
+        assert!(df.diameter_hops >= ls.diameter_hops);
+    }
+
+    #[test]
+    fn averages_are_consistent_with_diameter() {
+        for topo in [
+            Topology::leaf_spine_128(),
+            Topology::hyperx_128(),
+            Topology::dragonfly_128(),
+        ] {
+            let m = TopologyMetrics::of(&Network::new(topo));
+            assert!(m.avg_hops <= m.diameter_hops as f64);
+            assert!(m.avg_switches < m.avg_hops);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The host-side RIG command interface (paper §5.1, §5.4).
+//!
+//! The paper exposes RIG offload as a new `IBV_WR_RIG` opcode in the
+//! RDMA-Verbs work-request union: the host posts a work request holding
+//! the batch's idx-array address, the destination buffer for the gathered
+//! properties, the batch length, and the property size; `libibverbs`
+//! programs the RIG Unit's memory-mapped control registers. This module
+//! models that API surface — validation, register encoding, and the
+//! splitting of an application-level gather into per-unit commands.
+
+use serde::{Deserialize, Serialize};
+
+/// One RIG work request, as the host posts it (§5.1: "the command
+/// contains the host address that the client thread should read the
+/// nonzero idxs from, the host address to write the gathered remote
+/// properties, the number of idxs, and the size of a property").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RigCommand {
+    /// Host memory address of the idx batch (4-byte idxs).
+    pub idx_addr: u64,
+    /// Host memory address the gathered properties are DMA'd to.
+    pub dst_addr: u64,
+    /// Number of idxs in the batch.
+    pub n_idxs: u32,
+    /// Property size in bytes.
+    pub prop_bytes: u32,
+}
+
+/// Why a posted command was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandError {
+    /// Zero-length batch.
+    EmptyBatch,
+    /// Property size of zero bytes.
+    ZeroProperty,
+    /// The destination buffer would overlap the idx array.
+    OverlappingBuffers,
+}
+
+impl std::fmt::Display for CommandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommandError::EmptyBatch => write!(f, "batch contains no idxs"),
+            CommandError::ZeroProperty => write!(f, "property size must be nonzero"),
+            CommandError::OverlappingBuffers => {
+                write!(f, "destination buffer overlaps the idx array")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+impl RigCommand {
+    /// Validates the work request the way the driver would before
+    /// programming the unit's control registers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommandError`] for empty batches, zero property sizes,
+    /// or overlapping idx/destination buffers.
+    pub fn validate(&self) -> Result<(), CommandError> {
+        if self.n_idxs == 0 {
+            return Err(CommandError::EmptyBatch);
+        }
+        if self.prop_bytes == 0 {
+            return Err(CommandError::ZeroProperty);
+        }
+        let idx_end = self.idx_addr + self.n_idxs as u64 * 4;
+        let dst_end = self.dst_addr + self.n_idxs as u64 * self.prop_bytes as u64;
+        if self.idx_addr < dst_end && self.dst_addr < idx_end {
+            return Err(CommandError::OverlappingBuffers);
+        }
+        Ok(())
+    }
+
+    /// Bytes of idx data the unit will DMA from the host.
+    pub fn idx_bytes(&self) -> u64 {
+        self.n_idxs as u64 * 4
+    }
+
+    /// Bytes of property data the gather can write back (upper bound: not
+    /// every idx is remote or unfiltered).
+    pub fn max_property_bytes(&self) -> u64 {
+        self.n_idxs as u64 * self.prop_bytes as u64
+    }
+
+    /// Splits an application-level gather over `total_idxs` nonzeros into
+    /// per-unit commands of at most `batch` idxs each — what the host
+    /// library does before posting (§5.1: "the nonzeros processed by a
+    /// node are grouped into batches").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn split(
+        idx_addr: u64,
+        dst_addr: u64,
+        total_idxs: u64,
+        prop_bytes: u32,
+        batch: u32,
+    ) -> Vec<RigCommand> {
+        assert!(batch > 0, "batch size must be nonzero");
+        let mut out = Vec::with_capacity((total_idxs as usize).div_ceil(batch as usize));
+        let mut done = 0u64;
+        while done < total_idxs {
+            let n = (total_idxs - done).min(batch as u64) as u32;
+            out.push(RigCommand {
+                idx_addr: idx_addr + done * 4,
+                dst_addr: dst_addr + done * prop_bytes as u64,
+                n_idxs: n,
+                prop_bytes,
+            });
+            done += n as u64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid() -> RigCommand {
+        RigCommand {
+            idx_addr: 0x1000,
+            dst_addr: 0x100000,
+            n_idxs: 1024,
+            prop_bytes: 64,
+        }
+    }
+
+    #[test]
+    fn valid_command_passes() {
+        assert_eq!(valid().validate(), Ok(()));
+        assert_eq!(valid().idx_bytes(), 4096);
+        assert_eq!(valid().max_property_bytes(), 1024 * 64);
+    }
+
+    #[test]
+    fn rejects_degenerate_commands() {
+        let mut c = valid();
+        c.n_idxs = 0;
+        assert_eq!(c.validate(), Err(CommandError::EmptyBatch));
+        let mut c = valid();
+        c.prop_bytes = 0;
+        assert_eq!(c.validate(), Err(CommandError::ZeroProperty));
+    }
+
+    #[test]
+    fn rejects_overlapping_buffers() {
+        let c = RigCommand {
+            idx_addr: 0x1000,
+            dst_addr: 0x1800, // inside the 4 KB idx array
+            n_idxs: 1024,
+            prop_bytes: 4,
+        };
+        assert_eq!(c.validate(), Err(CommandError::OverlappingBuffers));
+        // Adjacent (end-to-start) buffers are fine.
+        let c = RigCommand {
+            idx_addr: 0x1000,
+            dst_addr: 0x1000 + 4096,
+            n_idxs: 1024,
+            prop_bytes: 4,
+        };
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn split_covers_every_idx_exactly_once() {
+        let cmds = RigCommand::split(0, 1 << 20, 10_000, 64, 1024);
+        assert_eq!(cmds.len(), 10);
+        let total: u64 = cmds.iter().map(|c| c.n_idxs as u64).sum();
+        assert_eq!(total, 10_000);
+        // Contiguous, non-overlapping address ranges.
+        for w in cmds.windows(2) {
+            assert_eq!(w[0].idx_addr + w[0].idx_bytes(), w[1].idx_addr);
+            assert_eq!(w[0].dst_addr + w[0].max_property_bytes(), w[1].dst_addr);
+        }
+        // Every split command validates.
+        for c in &cmds {
+            assert_eq!(c.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn split_handles_exact_multiples_and_tails() {
+        assert_eq!(RigCommand::split(0, 1 << 30, 2048, 4, 1024).len(), 2);
+        let cmds = RigCommand::split(0, 1 << 30, 2049, 4, 1024);
+        assert_eq!(cmds.len(), 3);
+        assert_eq!(cmds[2].n_idxs, 1);
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_concise() {
+        assert_eq!(
+            CommandError::EmptyBatch.to_string(),
+            "batch contains no idxs"
+        );
+    }
+}

@@ -1,0 +1,444 @@
+//! The PR Concatenator: per-destination delay queues (paper §6.1.2).
+//!
+//! A Concatenation Point (in an SNIC or a ToR switch) keeps one MTU-sized
+//! **Concatenation Queue** (CQ) per `(destination, PR type)` pair. An
+//! arriving PR is pushed into its CQ; the CQ's contents are emitted as a
+//! single packet when either
+//!
+//! - the CQ cannot fit another PR within the MTU, or
+//! - the *Expiration Time* of the CQ's first PR (entry time + a fixed
+//!   `DelayCycles` budget) passes.
+//!
+//! Expirations are tracked by an **Expiration Queue** (EQ). In hardware
+//! every PR gets the same delay budget, so CQs expire in first-PR arrival
+//! order and the EQ is the paper's circular queue whose head is the only
+//! candidate. The simulation processes idx batches in lumped events whose
+//! emitted timestamps can interleave slightly across units, so the EQ here
+//! is a small min-heap — same semantics, robust to out-of-order pushes.
+//! Entries are invalidated by a generation counter when their CQ flushes
+//! early (the paper's "EQ index" metadata).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use netsparse_desim::{Histogram, SimTime};
+
+use crate::protocol::{HeaderSpec, Pr, PrKind};
+
+/// Configuration of one concatenation point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConcatConfig {
+    /// Protocol header sizes.
+    pub headers: HeaderSpec,
+    /// Maximum transmission unit in bytes (paper: 1500 B).
+    pub mtu: u32,
+    /// Maximum time any PR waits for companions (paper: 500 SNIC cycles /
+    /// 125 switch cycles).
+    pub delay: SimTime,
+    /// When `false`, every PR departs immediately in its own packet
+    /// (the no-concatenation ablation).
+    pub enabled: bool,
+}
+
+impl ConcatConfig {
+    /// A disabled concatenation point (one PR per packet).
+    pub fn disabled(headers: HeaderSpec) -> Self {
+        ConcatConfig {
+            headers,
+            mtu: 1_500,
+            delay: SimTime::ZERO,
+            enabled: false,
+        }
+    }
+}
+
+/// A packet emitted by a concatenation point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcatPacket {
+    /// Destination node of every PR inside.
+    pub dest: u32,
+    /// PR type of every PR inside.
+    pub kind: PrKind,
+    /// Property payload bytes carried per PR (0 for reads).
+    pub payload_per_pr: u32,
+    /// The concatenated PRs.
+    pub prs: Vec<Pr>,
+    /// Total wire bytes (upper + concat headers + per-PR headers +
+    /// payloads).
+    pub wire_bytes: u64,
+}
+
+#[derive(Debug)]
+struct Cq {
+    prs: Vec<Pr>,
+    payload_per_pr: u32,
+    generation: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EqEntry {
+    expires: SimTime,
+    seq: u64,
+    dest: u32,
+    kind: PrKindOrd,
+    generation: u64,
+}
+
+/// `PrKind` with a total order, for heap entries only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum PrKindOrd {
+    Read,
+    Response,
+}
+
+impl From<PrKind> for PrKindOrd {
+    fn from(k: PrKind) -> Self {
+        match k {
+            PrKind::Read => PrKindOrd::Read,
+            PrKind::Response => PrKindOrd::Response,
+        }
+    }
+}
+
+impl From<PrKindOrd> for PrKind {
+    fn from(k: PrKindOrd) -> Self {
+        match k {
+            PrKindOrd::Read => PrKind::Read,
+            PrKindOrd::Response => PrKind::Response,
+        }
+    }
+}
+
+/// A concatenation point: CQs plus the expiration queue.
+///
+/// # Example
+///
+/// ```
+/// use netsparse_snic::{ConcatConfig, Concatenator, HeaderSpec, Pr, PrKind};
+/// use netsparse_desim::SimTime;
+///
+/// let cfg = ConcatConfig {
+///     headers: HeaderSpec::paper(),
+///     mtu: 1_500,
+///     delay: SimTime::from_ns(200),
+///     enabled: true,
+/// };
+/// let mut c = Concatenator::new(cfg);
+/// let pr = |i| Pr { src_node: 0, src_tid: 0, idx: i, req_id: i };
+/// let t0 = SimTime::ZERO;
+/// assert!(c.push(t0, 7, PrKind::Read, pr(1), 0).is_none()); // waits
+/// assert!(c.push(t0, 7, PrKind::Read, pr(2), 0).is_none()); // same CQ
+/// // Nothing expired yet...
+/// assert!(c.flush_expired(t0).is_empty());
+/// // ...but 200 ns later the CQ expires as one 2-PR packet.
+/// let pkts = c.flush_expired(SimTime::from_ns(200));
+/// assert_eq!(pkts.len(), 1);
+/// assert_eq!(pkts[0].prs.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Concatenator {
+    cfg: ConcatConfig,
+    queues: HashMap<(u32, PrKind), Cq>,
+    eq: BinaryHeap<Reverse<EqEntry>>,
+    eq_seq: u64,
+    prs_per_packet: Histogram,
+    packets: u64,
+}
+
+impl Concatenator {
+    /// Creates an empty concatenation point.
+    pub fn new(cfg: ConcatConfig) -> Self {
+        Concatenator {
+            cfg,
+            queues: HashMap::new(),
+            eq: BinaryHeap::new(),
+            eq_seq: 0,
+            prs_per_packet: Histogram::new(),
+            packets: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ConcatConfig {
+        &self.cfg
+    }
+
+    /// Pushes a PR bound for `dest`. Returns a packet if this push caused
+    /// an (MTU-full) emission; otherwise the PR waits in its CQ.
+    ///
+    /// `payload_bytes` is the property payload this PR will carry (0 for
+    /// read PRs); all PRs in one CQ must carry equal payloads (the
+    /// concatenation-layer header holds a single property length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload_bytes` differs from PRs already queued for the
+    /// same `(dest, kind)`.
+    pub fn push(
+        &mut self,
+        now: SimTime,
+        dest: u32,
+        kind: PrKind,
+        pr: Pr,
+        payload_bytes: u32,
+    ) -> Option<ConcatPacket> {
+        if !self.cfg.enabled {
+            return Some(self.emit(dest, kind, vec![pr], payload_bytes));
+        }
+        let max_prs = self.cfg.headers.prs_per_mtu(self.cfg.mtu, payload_bytes);
+        let cq = self.queues.entry((dest, kind)).or_insert(Cq {
+            prs: Vec::new(),
+            payload_per_pr: payload_bytes,
+            generation: 0,
+        });
+        if !cq.prs.is_empty() {
+            assert_eq!(
+                cq.payload_per_pr, payload_bytes,
+                "mixed payload sizes in one concatenation queue"
+            );
+        } else {
+            cq.payload_per_pr = payload_bytes;
+        }
+
+        // Flush first if this PR does not fit.
+        let flushed = if cq.prs.len() as u32 >= max_prs {
+            let prs = std::mem::take(&mut cq.prs);
+            let payload = cq.payload_per_pr;
+            cq.generation += 1;
+            Some((prs, payload))
+        } else {
+            None
+        };
+
+        if cq.prs.is_empty() {
+            // First PR of a (new) CQ: arm its expiration entry.
+            let seq = self.eq_seq;
+            self.eq_seq += 1;
+            self.eq.push(Reverse(EqEntry {
+                expires: now + self.cfg.delay,
+                seq,
+                dest,
+                kind: kind.into(),
+                generation: cq.generation,
+            }));
+        }
+        cq.prs.push(pr);
+        cq.payload_per_pr = payload_bytes;
+
+        flushed.map(|(prs, payload)| self.emit(dest, kind, prs, payload))
+    }
+
+    /// The earliest pending expiration, if any (stale entries are
+    /// discarded on the way).
+    pub fn next_expiry(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(head)) = self.eq.peek() {
+            let live = self
+                .queues
+                .get(&(head.dest, head.kind.into()))
+                .is_some_and(|cq| cq.generation == head.generation && !cq.prs.is_empty());
+            if live {
+                return Some(head.expires);
+            }
+            self.eq.pop();
+        }
+        None
+    }
+
+    /// Flushes every CQ whose expiration time has passed.
+    pub fn flush_expired(&mut self, now: SimTime) -> Vec<ConcatPacket> {
+        let mut out = Vec::new();
+        while let Some(Reverse(head)) = self.eq.peek().copied().map(Some).unwrap_or(None) {
+            if head.expires > now {
+                break;
+            }
+            self.eq.pop();
+            if let Some(cq) = self.queues.get_mut(&(head.dest, head.kind.into())) {
+                if cq.generation == head.generation && !cq.prs.is_empty() {
+                    let prs = std::mem::take(&mut cq.prs);
+                    let payload = cq.payload_per_pr;
+                    cq.generation += 1;
+                    out.push(self.emit(head.dest, head.kind.into(), prs, payload));
+                }
+            }
+        }
+        out
+    }
+
+    /// Flushes every non-empty CQ regardless of expiry (drain at kernel
+    /// end).
+    pub fn flush_all(&mut self) -> Vec<ConcatPacket> {
+        let keys: Vec<(u32, PrKind)> = self
+            .queues
+            .iter()
+            .filter(|(_, cq)| !cq.prs.is_empty())
+            .map(|(&k, _)| k)
+            .collect();
+        let mut out = Vec::new();
+        for (dest, kind) in keys {
+            let cq = self.queues.get_mut(&(dest, kind)).expect("key just listed");
+            let prs = std::mem::take(&mut cq.prs);
+            let payload = cq.payload_per_pr;
+            cq.generation += 1;
+            out.push(self.emit(dest, kind, prs, payload));
+        }
+        out
+    }
+
+    /// Total PRs currently waiting across all CQs.
+    pub fn queued_prs(&self) -> usize {
+        self.queues.values().map(|cq| cq.prs.len()).sum()
+    }
+
+    /// Packets emitted so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Distribution of PRs per emitted packet.
+    pub fn prs_per_packet(&self) -> &Histogram {
+        &self.prs_per_packet
+    }
+
+    fn emit(&mut self, dest: u32, kind: PrKind, prs: Vec<Pr>, payload: u32) -> ConcatPacket {
+        debug_assert!(!prs.is_empty());
+        let wire_bytes = self.cfg.headers.packet_bytes(prs.len() as u32, payload);
+        self.prs_per_packet.record(prs.len() as u64);
+        self.packets += 1;
+        ConcatPacket {
+            dest,
+            kind,
+            payload_per_pr: payload,
+            prs,
+            wire_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(delay_ns: u64) -> ConcatConfig {
+        ConcatConfig {
+            headers: HeaderSpec::paper(),
+            mtu: 1_500,
+            delay: SimTime::from_ns(delay_ns),
+            enabled: true,
+        }
+    }
+
+    fn pr(idx: u32) -> Pr {
+        Pr {
+            src_node: 1,
+            src_tid: 0,
+            idx,
+            req_id: idx,
+        }
+    }
+
+    #[test]
+    fn disabled_mode_emits_singletons() {
+        let mut c = Concatenator::new(ConcatConfig::disabled(HeaderSpec::paper()));
+        let p = c.push(SimTime::ZERO, 5, PrKind::Read, pr(1), 0).unwrap();
+        assert_eq!(p.prs.len(), 1);
+        assert_eq!(p.wire_bytes, 80);
+        assert_eq!(c.queued_prs(), 0);
+    }
+
+    #[test]
+    fn mtu_full_flushes() {
+        let mut c = Concatenator::new(cfg(1_000_000));
+        // Read PRs (payload 0): (1500 - 62) / 18 = 79 PRs per MTU.
+        let cap = HeaderSpec::paper().prs_per_mtu(1_500, 0);
+        let mut flushed = None;
+        for i in 0..=cap {
+            if let Some(p) = c.push(SimTime::ZERO, 2, PrKind::Read, pr(i), 0) {
+                flushed = Some((i, p));
+            }
+        }
+        let (at, p) = flushed.expect("must flush when MTU exceeded");
+        assert_eq!(at, cap);
+        assert_eq!(p.prs.len(), cap as usize);
+        assert!(p.wire_bytes <= 1_500);
+        // The overflowing PR starts a fresh CQ.
+        assert_eq!(c.queued_prs(), 1);
+    }
+
+    #[test]
+    fn expiry_uses_first_pr_entry_time() {
+        let mut c = Concatenator::new(cfg(100));
+        c.push(SimTime::from_ns(10), 3, PrKind::Read, pr(1), 0);
+        c.push(SimTime::from_ns(90), 3, PrKind::Read, pr(2), 0);
+        assert_eq!(c.next_expiry(), Some(SimTime::from_ns(110)));
+        assert!(c.flush_expired(SimTime::from_ns(109)).is_empty());
+        let pkts = c.flush_expired(SimTime::from_ns(110));
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].prs.len(), 2);
+        assert_eq!(c.next_expiry(), None);
+    }
+
+    #[test]
+    fn different_destinations_do_not_mix() {
+        let mut c = Concatenator::new(cfg(50));
+        c.push(SimTime::ZERO, 1, PrKind::Read, pr(1), 0);
+        c.push(SimTime::ZERO, 2, PrKind::Read, pr(2), 0);
+        let pkts = c.flush_expired(SimTime::from_ns(50));
+        assert_eq!(pkts.len(), 2);
+        assert!(pkts.iter().all(|p| p.prs.len() == 1));
+    }
+
+    #[test]
+    fn reads_and_responses_do_not_mix() {
+        let mut c = Concatenator::new(cfg(50));
+        c.push(SimTime::ZERO, 1, PrKind::Read, pr(1), 0);
+        c.push(SimTime::ZERO, 1, PrKind::Response, pr(2), 64);
+        let pkts = c.flush_expired(SimTime::from_ns(50));
+        assert_eq!(pkts.len(), 2);
+        let kinds: Vec<_> = pkts.iter().map(|p| p.kind).collect();
+        assert!(kinds.contains(&PrKind::Read) && kinds.contains(&PrKind::Response));
+    }
+
+    #[test]
+    fn early_flush_invalidates_eq_entry() {
+        let mut c = Concatenator::new(cfg(1_000));
+        let cap = HeaderSpec::paper().prs_per_mtu(1_500, 0);
+        for i in 0..=cap {
+            c.push(SimTime::ZERO, 4, PrKind::Read, pr(i), 0);
+        }
+        // The original CQ flushed early; its EQ entry must not re-flush.
+        // The overflow PR re-armed a fresh entry at the same expiry time.
+        let pkts = c.flush_expired(SimTime::from_us(10));
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].prs.len(), 1);
+    }
+
+    #[test]
+    fn flush_all_drains_everything() {
+        let mut c = Concatenator::new(cfg(1_000));
+        c.push(SimTime::ZERO, 1, PrKind::Read, pr(1), 0);
+        c.push(SimTime::ZERO, 2, PrKind::Response, pr(2), 4);
+        let pkts = c.flush_all();
+        assert_eq!(pkts.len(), 2);
+        assert_eq!(c.queued_prs(), 0);
+        assert_eq!(c.packets(), 2);
+    }
+
+    #[test]
+    fn wire_bytes_account_shared_headers() {
+        let mut c = Concatenator::new(cfg(10));
+        for i in 0..5 {
+            c.push(SimTime::ZERO, 1, PrKind::Response, pr(i), 64);
+        }
+        let pkts = c.flush_expired(SimTime::from_ns(10));
+        assert_eq!(pkts[0].wire_bytes, 62 + 5 * (18 + 64));
+        assert_eq!(c.prs_per_packet().mean(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed payload sizes")]
+    fn mixed_payloads_rejected() {
+        let mut c = Concatenator::new(cfg(10));
+        c.push(SimTime::ZERO, 1, PrKind::Response, pr(1), 64);
+        c.push(SimTime::ZERO, 1, PrKind::Response, pr(2), 128);
+    }
+}

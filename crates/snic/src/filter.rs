@@ -1,0 +1,219 @@
+//! The Idx Filter: per-node "already fetched" bit vector (paper §5.2).
+//!
+//! The paper allocates one bit per sparse-matrix column in the SNIC's DRAM
+//! (modern SNICs carry ≥16 GB, enough for 10¹¹ columns) and shares it
+//! across all client RIG units of the node. A bit is set when the property
+//! for that idx has been received and written to host memory; a set bit
+//! makes every later PR for the idx redundant.
+//!
+//! The simulation keeps the same semantics with two backings: a dense bit
+//! vector for modest column counts, and a hash set when the simulated
+//! column space is large but sparsely touched (equivalent behaviour, much
+//! less host RAM across 128 simulated nodes).
+
+/// A set of idx bits over `[0, n_cols)`.
+///
+/// # Example
+///
+/// ```
+/// use netsparse_snic::IdxFilter;
+/// let mut f = IdxFilter::new(1_000);
+/// assert!(!f.contains(42));
+/// assert!(f.insert(42));  // newly set
+/// assert!(!f.insert(42)); // already set
+/// assert!(f.contains(42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdxFilter {
+    n_cols: u32,
+    backing: Backing,
+    set_bits: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Backing {
+    Dense(Vec<u64>),
+    Sparse(std::collections::HashSet<u32>),
+}
+
+/// Column counts up to this use the dense bit-vector backing (512 KiB).
+const DENSE_LIMIT: u32 = 1 << 22;
+
+impl IdxFilter {
+    /// Creates an empty filter over `n_cols` idxs.
+    pub fn new(n_cols: u32) -> Self {
+        let backing = if n_cols <= DENSE_LIMIT {
+            Backing::Dense(vec![0u64; (n_cols as usize).div_ceil(64)])
+        } else {
+            Backing::Sparse(std::collections::HashSet::new())
+        };
+        IdxFilter {
+            n_cols,
+            backing,
+            set_bits: 0,
+        }
+    }
+
+    /// Number of idxs covered.
+    pub fn n_cols(&self) -> u32 {
+        self.n_cols
+    }
+
+    /// Whether `idx`'s bit is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= n_cols`.
+    #[inline]
+    pub fn contains(&self, idx: u32) -> bool {
+        assert!(idx < self.n_cols, "idx {idx} out of filter range");
+        match &self.backing {
+            Backing::Dense(bits) => bits[(idx / 64) as usize] & (1u64 << (idx % 64)) != 0,
+            Backing::Sparse(set) => set.contains(&idx),
+        }
+    }
+
+    /// Sets `idx`'s bit; returns `true` if it was previously clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= n_cols`.
+    #[inline]
+    pub fn insert(&mut self, idx: u32) -> bool {
+        assert!(idx < self.n_cols, "idx {idx} out of filter range");
+        let newly = match &mut self.backing {
+            Backing::Dense(bits) => {
+                let word = &mut bits[(idx / 64) as usize];
+                let mask = 1u64 << (idx % 64);
+                let was = *word & mask != 0;
+                *word |= mask;
+                !was
+            }
+            Backing::Sparse(set) => set.insert(idx),
+        };
+        if newly {
+            self.set_bits += 1;
+        }
+        newly
+    }
+
+    /// Number of set bits (distinct idxs marked fetched).
+    pub fn len(&self) -> u64 {
+        self.set_bits
+    }
+
+    /// Whether no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.set_bits == 0
+    }
+
+    /// Clears `idx`'s bit; returns whether it was set. Used by watchdog
+    /// recovery (§7.1): when a RIG operation times out, the properties it
+    /// partially wrote to host memory are discarded, so their filter bits
+    /// must be dropped or they would never be re-fetched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= n_cols`.
+    pub fn remove(&mut self, idx: u32) -> bool {
+        assert!(idx < self.n_cols, "idx {idx} out of filter range");
+        let was = match &mut self.backing {
+            Backing::Dense(bits) => {
+                let word = &mut bits[(idx / 64) as usize];
+                let mask = 1u64 << (idx % 64);
+                let was = *word & mask != 0;
+                *word &= !mask;
+                was
+            }
+            Backing::Sparse(set) => set.remove(&idx),
+        };
+        if was {
+            self.set_bits -= 1;
+        }
+        was
+    }
+
+    /// Clears every bit (the control plane resets the filter between
+    /// kernel iterations when the input property array changes).
+    pub fn clear(&mut self) {
+        match &mut self.backing {
+            Backing::Dense(bits) => bits.fill(0),
+            Backing::Sparse(set) => set.clear(),
+        }
+        self.set_bits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains_dense() {
+        let mut f = IdxFilter::new(200);
+        assert!(f.is_empty());
+        assert!(f.insert(0));
+        assert!(f.insert(199));
+        assert!(!f.insert(0));
+        assert!(f.contains(0) && f.contains(199) && !f.contains(100));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn insert_and_contains_sparse() {
+        let mut f = IdxFilter::new(DENSE_LIMIT + 10);
+        assert!(matches!(f.backing, Backing::Sparse(_)));
+        assert!(f.insert(DENSE_LIMIT + 5));
+        assert!(!f.insert(DENSE_LIMIT + 5));
+        assert!(f.contains(DENSE_LIMIT + 5));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets_both_backings() {
+        for n in [100u32, DENSE_LIMIT + 1] {
+            let mut f = IdxFilter::new(n);
+            f.insert(7);
+            f.clear();
+            assert!(!f.contains(7));
+            assert!(f.is_empty());
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_agree() {
+        let mut dense = IdxFilter::new(1_000);
+        let mut sparse = IdxFilter {
+            n_cols: 1_000,
+            backing: Backing::Sparse(Default::default()),
+            set_bits: 0,
+        };
+        let idxs = [3u32, 999, 64, 63, 3, 128, 64];
+        for &i in &idxs {
+            assert_eq!(dense.insert(i), sparse.insert(i), "idx {i}");
+        }
+        for i in 0..1_000 {
+            assert_eq!(dense.contains(i), sparse.contains(i), "idx {i}");
+        }
+        assert_eq!(dense.len(), sparse.len());
+    }
+
+    #[test]
+    fn remove_clears_single_bits() {
+        for n in [100u32, DENSE_LIMIT + 1] {
+            let mut f = IdxFilter::new(n);
+            f.insert(9);
+            f.insert(10);
+            assert!(f.remove(9));
+            assert!(!f.remove(9));
+            assert!(!f.contains(9) && f.contains(10));
+            assert_eq!(f.len(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of filter range")]
+    fn out_of_range_panics() {
+        IdxFilter::new(10).contains(10);
+    }
+}

@@ -1,0 +1,175 @@
+//! The Pending PR Table: a per-RIG-unit CAM of outstanding requests
+//! (paper §5.2, §5.3).
+//!
+//! Each client RIG unit tracks the PRs it has issued whose responses have
+//! not yet arrived. The table serves two purposes:
+//!
+//! - **Coalescing**: a new idx matching an outstanding entry is dropped —
+//!   the in-flight response will satisfy it (only PRs from the *same* RIG
+//!   unit coalesce; the paper avoids cross-unit synchronization).
+//! - **Flow control**: when the table is full (256 entries in Table 5) the
+//!   unit stalls, bounding the node's outstanding traffic — this is what
+//!   makes the lossless-network assumption self-enforcing.
+
+/// A bounded set of outstanding PR idxs.
+///
+/// # Example
+///
+/// ```
+/// use netsparse_snic::PendingTable;
+/// let mut t = PendingTable::new(2);
+/// assert!(t.insert(5));
+/// assert!(t.insert(9));
+/// assert!(t.is_full());
+/// assert!(!t.insert(11)); // no room
+/// assert!(t.contains(5)); // coalescing check
+/// t.remove(5);
+/// assert!(t.insert(11));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PendingTable {
+    capacity: usize,
+    entries: std::collections::HashSet<u32>,
+    peak: usize,
+}
+
+impl PendingTable {
+    /// Creates an empty table with room for `capacity` outstanding PRs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "pending table needs at least one entry");
+        PendingTable {
+            capacity,
+            entries: std::collections::HashSet::with_capacity(capacity),
+            peak: 0,
+        }
+    }
+
+    /// Maximum outstanding PRs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current outstanding PRs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no PRs are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the table has no free entries (the unit must stall).
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Whether a PR for `idx` is outstanding (the coalescing probe).
+    #[inline]
+    pub fn contains(&self, idx: u32) -> bool {
+        self.entries.contains(&idx)
+    }
+
+    /// Registers an outstanding PR for `idx`. Returns `false` (and does
+    /// nothing) if the table is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is already present — the caller must coalesce
+    /// duplicates before issuing, so a double insert is a model bug.
+    #[inline]
+    pub fn insert(&mut self, idx: u32) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        let fresh = self.entries.insert(idx);
+        assert!(fresh, "idx {idx} already outstanding; caller must coalesce");
+        self.peak = self.peak.max(self.entries.len());
+        true
+    }
+
+    /// Clears the entry for `idx` when its response arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` was not outstanding — a response without a matching
+    /// request is a protocol violation.
+    #[inline]
+    pub fn remove(&mut self, idx: u32) {
+        let was = self.entries.remove(&idx);
+        assert!(was, "response for idx {idx} that was never outstanding");
+    }
+
+    /// Highest simultaneous occupancy observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Forgets every outstanding entry (watchdog recovery, §7.1: the
+    /// failed RIG operation's in-flight PRs are abandoned).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_and_frees() {
+        let mut t = PendingTable::new(3);
+        for i in 0..3 {
+            assert!(t.insert(i));
+        }
+        assert!(t.is_full());
+        assert!(!t.insert(99));
+        t.remove(1);
+        assert!(!t.is_full());
+        assert!(t.insert(99));
+        assert_eq!(t.peak(), 3);
+    }
+
+    #[test]
+    fn contains_tracks_outstanding_only() {
+        let mut t = PendingTable::new(4);
+        t.insert(7);
+        assert!(t.contains(7));
+        t.remove(7);
+        assert!(!t.contains(7));
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let mut t = PendingTable::new(2);
+        t.insert(1);
+        t.insert(2);
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.insert(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already outstanding")]
+    fn double_insert_is_a_bug() {
+        let mut t = PendingTable::new(4);
+        t.insert(7);
+        t.insert(7);
+    }
+
+    #[test]
+    #[should_panic(expected = "never outstanding")]
+    fn orphan_response_is_a_bug() {
+        PendingTable::new(4).remove(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        PendingTable::new(0);
+    }
+}

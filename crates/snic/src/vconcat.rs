@@ -1,0 +1,474 @@
+//! Virtualized Concatenation Queues (paper §7.2).
+//!
+//! The baseline Concatenator provisions one MTU-sized CQ per possible
+//! `(destination, type)` pair — SRAM that scales with cluster size and
+//! sits mostly idle at large scale. The paper sketches the fix: a *fixed*
+//! pool of small sub-MTU "physical" CQs (e.g. 128 B), assigned on demand
+//! and linked into per-destination "virtual" CQs; when a virtual CQ's
+//! total occupancy reaches the MTU, its physical CQs are concatenated into
+//! one packet and returned to the pool.
+//!
+//! [`VirtualConcatenator`] implements that design with the same external
+//! contract as [`crate::Concatenator`] (push / expiry / flush, exactly-once
+//! PR delivery), plus a pool-pressure policy: when a PR arrives, its
+//! virtual CQ needs a new physical CQ, and the pool is empty, the oldest
+//! virtual CQ is flushed early to free space.
+
+use std::collections::HashMap;
+
+use netsparse_desim::{Histogram, SimTime};
+
+use crate::concat::{ConcatConfig, ConcatPacket};
+use crate::protocol::{Pr, PrKind};
+
+/// Configuration of the physical-CQ pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualCqConfig {
+    /// Number of physical CQs (independent of cluster size).
+    pub physical_queues: usize,
+    /// Bytes of PR-layer data (headers + payloads) per physical CQ
+    /// (paper's example: 128 B).
+    pub physical_bytes: u32,
+}
+
+impl VirtualCqConfig {
+    /// The paper's sketch: sub-MTU 128 B physical CQs. 64 of them hold
+    /// ~8 KB — versus 2·(N−1)·MTU ≈ 381 KB of dedicated CQs at N = 128.
+    pub fn paper_sketch() -> Self {
+        VirtualCqConfig {
+            physical_queues: 64,
+            physical_bytes: 128,
+        }
+    }
+
+    /// Total SRAM the pool occupies.
+    pub fn sram_bytes(&self) -> u64 {
+        self.physical_queues as u64 * self.physical_bytes as u64
+    }
+}
+
+/// SRAM a dedicated (non-virtualized) concatenation point needs for
+/// `nodes` cluster nodes: one MTU-sized CQ per destination and PR type.
+pub fn dedicated_sram_bytes(nodes: u32, mtu: u32) -> u64 {
+    2 * (nodes.saturating_sub(1)) as u64 * mtu as u64
+}
+
+#[derive(Debug)]
+struct VirtualCq {
+    prs: Vec<Pr>,
+    bytes: u32,
+    physical: usize,
+    payload_per_pr: u32,
+    first_enqueued: SimTime,
+    last_touch: u64,
+}
+
+/// A concatenation point backed by a fixed physical-CQ pool.
+///
+/// # Example
+///
+/// ```
+/// use netsparse_snic::{ConcatConfig, HeaderSpec, Pr, PrKind};
+/// use netsparse_snic::vconcat::{VirtualCqConfig, VirtualConcatenator};
+/// use netsparse_desim::SimTime;
+///
+/// let cfg = ConcatConfig {
+///     headers: HeaderSpec::paper(),
+///     mtu: 1_500,
+///     delay: SimTime::from_ns(200),
+///     enabled: true,
+/// };
+/// let mut c = VirtualConcatenator::new(cfg, VirtualCqConfig::paper_sketch());
+/// let pr = Pr { src_node: 0, src_tid: 0, idx: 9, req_id: 0 };
+/// assert!(c.push(SimTime::ZERO, 3, PrKind::Read, pr, 0).is_empty());
+/// let pkts = c.flush_expired(SimTime::from_ns(200));
+/// assert_eq!(pkts[0].prs.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct VirtualConcatenator {
+    cfg: ConcatConfig,
+    pool: VirtualCqConfig,
+    free_physical: usize,
+    queues: HashMap<(u32, PrKind), VirtualCq>,
+    touch: u64,
+    prs_per_packet: Histogram,
+    packets: u64,
+    early_flushes: u64,
+}
+
+impl VirtualConcatenator {
+    /// Creates an empty point with all physical CQs free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty or a physical CQ is larger than the MTU.
+    pub fn new(cfg: ConcatConfig, pool: VirtualCqConfig) -> Self {
+        assert!(pool.physical_queues > 0, "pool needs at least one CQ");
+        assert!(
+            pool.physical_bytes > 0 && pool.physical_bytes <= cfg.mtu,
+            "physical CQs must be sub-MTU"
+        );
+        VirtualConcatenator {
+            cfg,
+            pool,
+            free_physical: pool.physical_queues,
+            queues: HashMap::new(),
+            touch: 0,
+            prs_per_packet: Histogram::new(),
+            packets: 0,
+            early_flushes: 0,
+        }
+    }
+
+    /// The pool configuration.
+    pub fn pool(&self) -> &VirtualCqConfig {
+        &self.pool
+    }
+
+    /// Physical CQs currently unassigned.
+    pub fn free_physical(&self) -> usize {
+        self.free_physical
+    }
+
+    /// Times a virtual CQ was flushed early due to pool pressure.
+    pub fn early_flushes(&self) -> u64 {
+        self.early_flushes
+    }
+
+    /// Packets emitted so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Distribution of PRs per emitted packet.
+    pub fn prs_per_packet(&self) -> &Histogram {
+        &self.prs_per_packet
+    }
+
+    /// Total PRs waiting.
+    pub fn queued_prs(&self) -> usize {
+        self.queues.values().map(|q| q.prs.len()).sum()
+    }
+
+    /// Pushes a PR. May return several packets: the pushed CQ's own
+    /// MTU-full emission and/or a victim flushed under pool pressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload_bytes` differs from PRs already queued for the
+    /// same `(dest, kind)`.
+    pub fn push(
+        &mut self,
+        now: SimTime,
+        dest: u32,
+        kind: PrKind,
+        pr: Pr,
+        payload_bytes: u32,
+    ) -> Vec<ConcatPacket> {
+        if !self.cfg.enabled {
+            return vec![self.emit_prs(dest, kind, vec![pr], payload_bytes)];
+        }
+        let mut out = Vec::new();
+        let pr_bytes = self.cfg.headers.pr + payload_bytes;
+        // A PR the whole pool cannot hold can never concatenate: bypass
+        // the queues entirely (the dedicated design has the same escape —
+        // `prs_per_mtu` never returns 0).
+        if pr_bytes as u64 > self.pool.sram_bytes() {
+            out.push(self.emit_prs(dest, kind, vec![pr], payload_bytes));
+            return out;
+        }
+        self.touch += 1;
+        let touch = self.touch;
+
+        // MTU check first: would this PR overflow the virtual CQ?
+        let needs_flush = self
+            .queues
+            .get(&(dest, kind))
+            .is_some_and(|q| !q.prs.is_empty() && q.bytes + pr_bytes > self.mtu_budget());
+        if needs_flush {
+            if let Some(p) = self.flush_queue(dest, kind) {
+                out.push(p);
+            }
+        }
+
+        // Does the CQ need another physical queue for this PR?
+        loop {
+            let q = self.queues.entry((dest, kind)).or_insert(VirtualCq {
+                prs: Vec::new(),
+                bytes: 0,
+                physical: 0,
+                payload_per_pr: payload_bytes,
+                first_enqueued: now,
+                last_touch: touch,
+            });
+            if !q.prs.is_empty() {
+                assert_eq!(
+                    q.payload_per_pr, payload_bytes,
+                    "mixed payload sizes in one virtual CQ"
+                );
+            }
+            let capacity = q.physical as u64 * self.pool.physical_bytes as u64;
+            if (q.bytes + pr_bytes) as u64 <= capacity {
+                q.prs.push(pr);
+                q.bytes += pr_bytes;
+                q.payload_per_pr = payload_bytes;
+                q.last_touch = touch;
+                if q.prs.len() == 1 {
+                    q.first_enqueued = now;
+                }
+                break;
+            }
+            if self.free_physical > 0 {
+                self.free_physical -= 1;
+                let q = self.queues.get_mut(&(dest, kind)).expect("just inserted");
+                q.physical += 1;
+                continue;
+            }
+            // Pool exhausted: evict the least recently touched other CQ.
+            self.early_flushes += 1;
+            let victim = self
+                .queues
+                .iter()
+                .filter(|(&k, q)| k != (dest, kind) && !q.prs.is_empty())
+                .min_by_key(|(_, q)| q.last_touch)
+                .map(|(&k, _)| k);
+            match victim {
+                Some((vd, vk)) => {
+                    if let Some(p) = self.flush_queue(vd, vk) {
+                        out.push(p);
+                    }
+                }
+                None => {
+                    // Nothing else holds physicals: flush ourselves.
+                    if let Some(p) = self.flush_queue(dest, kind) {
+                        out.push(p);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Largest PR-layer byte budget a virtual CQ may accumulate.
+    fn mtu_budget(&self) -> u32 {
+        self.cfg.mtu - self.cfg.headers.per_packet()
+    }
+
+    /// The earliest pending expiration, if any.
+    pub fn next_expiry(&mut self) -> Option<SimTime> {
+        self.queues
+            .values()
+            .filter(|q| !q.prs.is_empty())
+            .map(|q| q.first_enqueued + self.cfg.delay)
+            .min()
+    }
+
+    /// Flushes every virtual CQ whose delay budget has expired.
+    pub fn flush_expired(&mut self, now: SimTime) -> Vec<ConcatPacket> {
+        let expired: Vec<(u32, PrKind)> = self
+            .queues
+            .iter()
+            .filter(|(_, q)| !q.prs.is_empty() && q.first_enqueued + self.cfg.delay <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        expired
+            .into_iter()
+            .filter_map(|(d, k)| self.flush_queue(d, k))
+            .collect()
+    }
+
+    /// Flushes everything (drain at kernel end).
+    pub fn flush_all(&mut self) -> Vec<ConcatPacket> {
+        let keys: Vec<(u32, PrKind)> = self
+            .queues
+            .iter()
+            .filter(|(_, q)| !q.prs.is_empty())
+            .map(|(&k, _)| k)
+            .collect();
+        keys.into_iter()
+            .filter_map(|(d, k)| self.flush_queue(d, k))
+            .collect()
+    }
+
+    fn flush_queue(&mut self, dest: u32, kind: PrKind) -> Option<ConcatPacket> {
+        let q = self.queues.get_mut(&(dest, kind))?;
+        if q.prs.is_empty() {
+            return None;
+        }
+        let prs = std::mem::take(&mut q.prs);
+        let payload = q.payload_per_pr;
+        self.free_physical += q.physical;
+        q.physical = 0;
+        q.bytes = 0;
+        Some(self.emit_prs(dest, kind, prs, payload))
+    }
+
+    fn emit_prs(&mut self, dest: u32, kind: PrKind, prs: Vec<Pr>, payload: u32) -> ConcatPacket {
+        let wire_bytes = self.cfg.headers.packet_bytes(prs.len() as u32, payload);
+        self.prs_per_packet.record(prs.len() as u64);
+        self.packets += 1;
+        ConcatPacket {
+            dest,
+            kind,
+            payload_per_pr: payload,
+            prs,
+            wire_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::HeaderSpec;
+
+    fn cfg(delay_ns: u64) -> ConcatConfig {
+        ConcatConfig {
+            headers: HeaderSpec::paper(),
+            mtu: 1_500,
+            delay: SimTime::from_ns(delay_ns),
+            enabled: true,
+        }
+    }
+
+    fn pr(idx: u32) -> Pr {
+        Pr {
+            src_node: 0,
+            src_tid: 0,
+            idx,
+            req_id: idx,
+        }
+    }
+
+    #[test]
+    fn sram_accounting_matches_paper_motivation() {
+        let pool = VirtualCqConfig::paper_sketch();
+        assert_eq!(pool.sram_bytes(), 64 * 128);
+        // Dedicated CQs for 128 nodes: 2 * 127 * 1500 = 381 KB.
+        assert_eq!(dedicated_sram_bytes(128, 1_500), 381_000);
+        assert!(pool.sram_bytes() * 40 < dedicated_sram_bytes(128, 1_500));
+    }
+
+    #[test]
+    fn exactly_once_delivery_with_pool_pressure() {
+        // A tiny pool forces constant eviction; no PR may be lost or
+        // duplicated regardless.
+        let mut c = VirtualConcatenator::new(
+            cfg(1_000_000),
+            VirtualCqConfig {
+                physical_queues: 3,
+                physical_bytes: 64,
+            },
+        );
+        let mut emitted = Vec::new();
+        for i in 0..500u32 {
+            let dest = i % 17;
+            emitted.extend(
+                c.push(SimTime::from_ns(i as u64), dest, PrKind::Read, pr(i), 0)
+                    .into_iter()
+                    .flat_map(|p| p.prs),
+            );
+        }
+        emitted.extend(c.flush_all().into_iter().flat_map(|p| p.prs));
+        assert_eq!(emitted.len(), 500);
+        let mut idxs: Vec<u32> = emitted.iter().map(|p| p.idx).collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        assert_eq!(idxs.len(), 500);
+        assert!(c.early_flushes() > 0, "pressure must have occurred");
+        // After the final drain every physical CQ is back in the pool.
+        assert_eq!(c.free_physical(), 3);
+    }
+
+    #[test]
+    fn physical_queues_return_to_pool() {
+        let pool = VirtualCqConfig {
+            physical_queues: 8,
+            physical_bytes: 128,
+        };
+        let mut c = VirtualConcatenator::new(cfg(100), pool);
+        for i in 0..20 {
+            c.push(SimTime::ZERO, 1, PrKind::Read, pr(i), 0);
+        }
+        assert!(c.free_physical() < 8);
+        c.flush_all();
+        assert_eq!(c.free_physical(), 8);
+        assert_eq!(c.queued_prs(), 0);
+    }
+
+    #[test]
+    fn virtual_mtu_flush_matches_dedicated_behaviour() {
+        // With an ample pool, the virtual point emits MTU-packed packets
+        // just like the dedicated one.
+        let mut c = VirtualConcatenator::new(
+            cfg(1_000_000),
+            VirtualCqConfig {
+                physical_queues: 64,
+                physical_bytes: 256,
+            },
+        );
+        let cap = HeaderSpec::paper().prs_per_mtu(1_500, 0);
+        let mut flushed = Vec::new();
+        for i in 0..(cap * 2) {
+            flushed.extend(c.push(SimTime::ZERO, 5, PrKind::Read, pr(i), 0));
+        }
+        assert!(!flushed.is_empty());
+        for p in &flushed {
+            assert!(p.wire_bytes <= 1_500);
+            assert!(p.prs.len() >= (cap as usize) / 2);
+        }
+    }
+
+    #[test]
+    fn expiry_follows_first_pr() {
+        let mut c = VirtualConcatenator::new(cfg(100), VirtualCqConfig::paper_sketch());
+        c.push(SimTime::from_ns(10), 2, PrKind::Read, pr(1), 0);
+        c.push(SimTime::from_ns(50), 2, PrKind::Read, pr(2), 0);
+        assert_eq!(c.next_expiry(), Some(SimTime::from_ns(110)));
+        assert!(c.flush_expired(SimTime::from_ns(100)).is_empty());
+        let pkts = c.flush_expired(SimTime::from_ns(110));
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].prs.len(), 2);
+    }
+
+    #[test]
+    fn disabled_mode_is_passthrough() {
+        let mut c = VirtualConcatenator::new(
+            ConcatConfig::disabled(HeaderSpec::paper()),
+            VirtualCqConfig::paper_sketch(),
+        );
+        let out = c.push(SimTime::ZERO, 1, PrKind::Response, pr(3), 64);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].prs.len(), 1);
+    }
+
+    #[test]
+    fn pr_larger_than_pool_bypasses_the_queues() {
+        // Regression: a response PR (82 B) against a 1x32 B pool must not
+        // spin in the eviction loop; it bypasses as a singleton packet.
+        let mut c = VirtualConcatenator::new(
+            cfg(100),
+            VirtualCqConfig {
+                physical_queues: 1,
+                physical_bytes: 32,
+            },
+        );
+        let out = c.push(SimTime::ZERO, 4, PrKind::Response, pr(1), 64);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].prs.len(), 1);
+        assert_eq!(c.queued_prs(), 0);
+        assert_eq!(c.free_physical(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sub-MTU")]
+    fn oversized_physical_rejected() {
+        VirtualConcatenator::new(
+            cfg(10),
+            VirtualCqConfig {
+                physical_queues: 4,
+                physical_bytes: 9_000,
+            },
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Structural characterization of sparse matrices and workloads.
+//!
+//! The paper motivates each benchmark by its domain structure (web crawls
+//! have hubs, road networks are near-planar, FEM matrices are banded).
+//! This module quantifies that structure — degree distributions, diagonal
+//! bandwidth, and imbalance coefficients — both to sanity-check the
+//! synthetic generators against their targets and to characterize any
+//! user-supplied matrix before a run.
+
+use crate::comm::CommWorkload;
+use crate::csr::CsrMatrix;
+
+/// Structural summary of a sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixProfile {
+    /// Rows.
+    pub nrows: u32,
+    /// Columns.
+    pub ncols: u32,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Mean nonzeros per row.
+    pub avg_row_nnz: f64,
+    /// Largest row.
+    pub max_row_nnz: usize,
+    /// Largest column (in-degree hub).
+    pub max_col_nnz: usize,
+    /// Gini coefficient of the row-nnz distribution (0 = uniform,
+    /// → 1 = a few rows hold everything).
+    pub row_gini: f64,
+    /// Mean |row - col| over nonzeros, normalized by the matrix size:
+    /// ~0 for banded matrices, ~1/3 for uniformly random ones.
+    pub normalized_bandwidth: f64,
+}
+
+impl MatrixProfile {
+    /// Profiles a CSR matrix in one pass.
+    pub fn of(m: &CsrMatrix) -> Self {
+        let mut col_counts = vec![0usize; m.ncols() as usize];
+        let mut row_counts = Vec::with_capacity(m.nrows() as usize);
+        let mut dist_sum = 0f64;
+        for r in 0..m.nrows() {
+            row_counts.push(m.row_nnz(r));
+            for (c, _) in m.row(r) {
+                col_counts[c as usize] += 1;
+                dist_sum += (r as f64 - c as f64).abs();
+            }
+        }
+        let n = m.nrows().max(m.ncols()).max(1) as f64;
+        MatrixProfile {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            nnz: m.nnz(),
+            avg_row_nnz: m.avg_row_nnz(),
+            max_row_nnz: row_counts.iter().copied().max().unwrap_or(0),
+            max_col_nnz: col_counts.iter().copied().max().unwrap_or(0),
+            row_gini: gini(&row_counts),
+            normalized_bandwidth: if m.nnz() == 0 {
+                0.0
+            } else {
+                dist_sum / m.nnz() as f64 / n
+            },
+        }
+    }
+
+    /// Whether the matrix has hub columns (a column at least `factor`
+    /// times the mean column population).
+    pub fn has_hubs(&self, factor: f64) -> bool {
+        let mean_col = self.nnz as f64 / self.ncols.max(1) as f64;
+        self.max_col_nnz as f64 > mean_col * factor
+    }
+}
+
+/// Communication-side summary of a workload (the signature quantities the
+/// suite generators are calibrated against).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Nodes.
+    pub nodes: u32,
+    /// Total nonzero references.
+    pub total_nnz: u64,
+    /// Fraction of references to remote columns.
+    pub remote_fraction: f64,
+    /// Mean references per distinct remote column per node.
+    pub reuse: f64,
+    /// Redundant SU transfers per useful one (Table 1 row 1).
+    pub su_redundancy: f64,
+    /// Redundant SA transfers per useful one (Table 1 row 2).
+    pub sa_redundancy: f64,
+    /// Unique destinations per 64 consecutive PRs (Table 4).
+    pub window_dests: f64,
+    /// Fraction of inter-rack needs shared by ≥2 rack-mates (§3).
+    pub rack_sharing: f64,
+    /// Max/mean per-node nonzero count (compute imbalance).
+    pub nnz_imbalance: f64,
+}
+
+impl WorkloadProfile {
+    /// Profiles a workload with rack size `rack_size`.
+    pub fn of(wl: &CommWorkload, rack_size: u32) -> Self {
+        let stats = wl.pattern_stats();
+        let per_node_nnz: Vec<u64> = stats.per_node.iter().map(|n| n.nnz).collect();
+        let mean = per_node_nnz.iter().sum::<u64>() as f64 / per_node_nnz.len().max(1) as f64;
+        let max = per_node_nnz.iter().copied().max().unwrap_or(0) as f64;
+        WorkloadProfile {
+            nodes: wl.nodes(),
+            total_nnz: wl.total_nnz(),
+            remote_fraction: stats.remote_fraction(),
+            reuse: stats.reuse(),
+            su_redundancy: stats.su_redundancy(),
+            sa_redundancy: stats.sa_redundancy(),
+            window_dests: wl.dest_locality(64),
+            rack_sharing: wl.rack_sharing(rack_size),
+            nnz_imbalance: if mean > 0.0 { max / mean } else { 0.0 },
+        }
+    }
+}
+
+/// Gini coefficient of a nonnegative sample (0 for empty/uniform input).
+pub fn gini(values: &[usize]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+    sorted.sort_unstable_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    let total: f64 = sorted.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as f64 + 1.0) * v)
+        .sum();
+    (2.0 * weighted / (n * total)) - (n + 1.0) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{banded, power_law, PowerLawParams};
+    use crate::suite::{SuiteConfig, SuiteMatrix};
+
+    #[test]
+    fn gini_of_uniform_is_zero_and_of_spike_is_high() {
+        assert!(gini(&[5, 5, 5, 5]).abs() < 1e-12);
+        let spike = gini(&[0, 0, 0, 100]);
+        assert!(spike > 0.7, "{spike}");
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn banded_matrix_has_tiny_normalized_bandwidth() {
+        let m = banded(1_024, 8, 16, 1).to_csr();
+        let p = MatrixProfile::of(&m);
+        assert!(p.normalized_bandwidth < 0.02, "{}", p.normalized_bandwidth);
+        assert!(!p.has_hubs(10.0));
+    }
+
+    #[test]
+    fn power_law_matrix_has_hubs() {
+        let m = power_law(
+            PowerLawParams {
+                n: 2_048,
+                nnz_per_row: 16,
+                alpha: 0.9,
+                locality: 0.2,
+                local_window: 16,
+            },
+            2,
+        )
+        .to_csr();
+        let p = MatrixProfile::of(&m);
+        assert!(p.has_hubs(10.0));
+        assert!(p.normalized_bandwidth > 0.05);
+    }
+
+    #[test]
+    fn workload_profile_matches_pattern_stats() {
+        let wl = SuiteConfig {
+            matrix: SuiteMatrix::Queen,
+            nodes: 16,
+            rack_size: 4,
+            scale: 0.02,
+            seed: 3,
+        }
+        .generate();
+        let p = WorkloadProfile::of(&wl, 4);
+        assert_eq!(p.nodes, 16);
+        assert!(p.reuse > 5.0, "queen reuses heavily: {}", p.reuse);
+        assert!(p.window_dests < 2.0);
+        assert!(p.nnz_imbalance >= 1.0);
+    }
+
+    #[test]
+    fn profile_handles_empty_matrix() {
+        let m = crate::coo::CooMatrix::new(4, 4).to_csr();
+        let p = MatrixProfile::of(&m);
+        assert_eq!(p.nnz, 0);
+        assert_eq!(p.normalized_bandwidth, 0.0);
+        assert_eq!(p.max_row_nnz, 0);
+    }
+}

@@ -1,0 +1,440 @@
+//! Communication workloads and sparsity-pattern statistics.
+//!
+//! A [`CommWorkload`] is the communication-side view of a distributed sparse
+//! kernel (§2.1–2.3 of the paper): for every node, the ordered stream of
+//! column indices (*idxs*) its nonzero scan touches. Each remote idx is a
+//! potential Property Request; the stream order determines filtering,
+//! coalescing, concatenation and caching behaviour.
+//!
+//! [`PatternStats`] computes the paper's motivational statistics: the
+//! useful-to-redundant transfer ratios of the SU and SA approaches
+//! (Table 1), temporal remote-destination locality (Table 4), and
+//! intra-rack sharing potential (§3).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::csr::CsrMatrix;
+use crate::partition::Partition1D;
+
+/// Per-node communication view of a distributed sparse kernel.
+///
+/// # Example
+///
+/// ```
+/// use netsparse_sparse::{gen, CommWorkload, Partition1D};
+/// let m = gen::banded(512, 4, 32, 1).to_csr();
+/// let part = Partition1D::even(512, 4);
+/// let wl = CommWorkload::from_csr(&m, &part);
+/// assert_eq!(wl.nodes(), 4);
+/// let stats = wl.pattern_stats();
+/// assert!(stats.total_unique_remote() <= stats.total_remote_refs());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CommWorkload {
+    partition: Partition1D,
+    rows_per_node: Vec<u32>,
+    streams: Vec<Vec<u32>>,
+}
+
+impl CommWorkload {
+    /// Builds a workload from per-node idx streams.
+    ///
+    /// `partition` describes column (input property) ownership;
+    /// `rows_per_node` the output rows each node owns (used by compute
+    /// models); `streams[p]` the ordered column idxs node `p` scans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams`/`rows_per_node` lengths do not match the
+    /// partition's part count, or any idx is out of range.
+    pub fn from_streams(
+        partition: Partition1D,
+        rows_per_node: Vec<u32>,
+        streams: Vec<Vec<u32>>,
+    ) -> Self {
+        let nodes = partition.parts() as usize;
+        assert_eq!(streams.len(), nodes, "one stream per node required");
+        assert_eq!(rows_per_node.len(), nodes, "one row count per node");
+        let n = partition.len();
+        for (p, s) in streams.iter().enumerate() {
+            for &idx in s {
+                assert!(idx < n, "node {p} references column {idx} >= {n}");
+            }
+        }
+        CommWorkload {
+            partition,
+            rows_per_node,
+            streams,
+        }
+    }
+
+    /// Extracts the workload of a real matrix under a 1-D partition: node
+    /// `p` owns the rows in `partition.range(p)` and scans their nonzeros
+    /// in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition does not span the matrix's rows, or the
+    /// matrix is not square-partitionable (`ncols` must equal the partition
+    /// length so column ownership is defined).
+    pub fn from_csr(m: &CsrMatrix, partition: &Partition1D) -> Self {
+        assert_eq!(
+            partition.len(),
+            m.ncols(),
+            "partition must span the column space"
+        );
+        assert_eq!(
+            m.nrows(),
+            m.ncols(),
+            "1-D partitioning here assumes a square matrix"
+        );
+        let nodes = partition.parts();
+        let mut streams = Vec::with_capacity(nodes as usize);
+        let mut rows_per_node = Vec::with_capacity(nodes as usize);
+        for p in 0..nodes {
+            let range = partition.range(p);
+            rows_per_node.push(range.end - range.start);
+            let mut s = Vec::new();
+            for r in range {
+                s.extend(m.row(r).map(|(c, _)| c));
+            }
+            streams.push(s);
+        }
+        CommWorkload::from_streams(partition.clone(), rows_per_node, streams)
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.partition.parts()
+    }
+
+    /// Number of columns (input properties) in the global array.
+    pub fn n_cols(&self) -> u32 {
+        self.partition.len()
+    }
+
+    /// The column-ownership partition.
+    pub fn partition(&self) -> &Partition1D {
+        &self.partition
+    }
+
+    /// Output rows owned by `node`.
+    pub fn rows_of(&self, node: u32) -> u32 {
+        self.rows_per_node[node as usize]
+    }
+
+    /// The ordered idx stream scanned by `node`.
+    pub fn stream(&self, node: u32) -> &[u32] {
+        &self.streams[node as usize]
+    }
+
+    /// Total nonzeros across all nodes.
+    pub fn total_nnz(&self) -> u64 {
+        self.streams.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Owner node of a column idx.
+    #[inline]
+    pub fn owner(&self, idx: u32) -> u32 {
+        self.partition.owner(idx)
+    }
+
+    /// Materializes the workload as a concrete sparse matrix, assigning the
+    /// nonzeros of each node's stream to that node's row range in order
+    /// (row-major within the node). Values are deterministic synthetic
+    /// data. Duplicate coordinates are preserved (a later `to_csr` merges
+    /// them).
+    pub fn to_coo(&self) -> crate::coo::CooMatrix {
+        let n = self.n_cols();
+        let mut m = crate::coo::CooMatrix::with_capacity(n, n, self.total_nnz() as usize);
+        for p in 0..self.nodes() {
+            let range = self.partition.range(p);
+            let rows = (range.end - range.start).max(1) as u64;
+            let len = self.stream(p).len().max(1) as u64;
+            for (k, &idx) in self.stream(p).iter().enumerate() {
+                let row = range.start + ((k as u64 * rows) / len) as u32;
+                let row = row.min(range.end.saturating_sub(1)).max(range.start);
+                m.push(row, idx, crate::kernels::synthetic_property(idx ^ row, 0));
+            }
+        }
+        m
+    }
+
+    /// Computes SU/SA transfer statistics (paper Table 1 and §3).
+    pub fn pattern_stats(&self) -> PatternStats {
+        let nodes = self.nodes();
+        let n_cols = self.n_cols();
+        let mut per_node = Vec::with_capacity(nodes as usize);
+        for p in 0..nodes {
+            let mut unique: HashSet<u32> = HashSet::new();
+            let mut remote_refs = 0u64;
+            for &idx in self.stream(p) {
+                if !self.partition.is_local(p, idx) {
+                    remote_refs += 1;
+                    unique.insert(idx);
+                }
+            }
+            per_node.push(NodePattern {
+                nnz: self.stream(p).len() as u64,
+                remote_refs,
+                unique_remote: unique.len() as u64,
+                su_received: (n_cols - self.partition.part_len(p)) as u64,
+            });
+        }
+        PatternStats {
+            nodes,
+            n_cols,
+            per_node,
+        }
+    }
+
+    /// Average number of unique destination nodes within non-overlapping
+    /// windows of `window` consecutive remote PRs (paper Table 4, window
+    /// 64). Returns 0 if no node issues a full window of remote PRs.
+    pub fn dest_locality(&self, window: usize) -> f64 {
+        assert!(window > 0, "window must be nonzero");
+        let mut total_unique = 0u64;
+        let mut windows = 0u64;
+        let mut dests: Vec<u32> = Vec::with_capacity(window);
+        for p in 0..self.nodes() {
+            dests.clear();
+            for &idx in self.stream(p) {
+                if !self.partition.is_local(p, idx) {
+                    dests.push(self.owner(idx));
+                    if dests.len() == window {
+                        let mut uniq = dests.clone();
+                        uniq.sort_unstable();
+                        uniq.dedup();
+                        total_unique += uniq.len() as u64;
+                        windows += 1;
+                        dests.clear();
+                    }
+                }
+            }
+        }
+        if windows == 0 {
+            0.0
+        } else {
+            total_unique as f64 / windows as f64
+        }
+    }
+
+    /// Fraction of unique `(node, remote idx)` property needs that are
+    /// shared by at least two nodes of the same rack, computed over
+    /// *inter-rack* properties only (§3: "85% of the PRs are for properties
+    /// useful to more than one node in the same group").
+    pub fn rack_sharing(&self, rack_size: u32) -> f64 {
+        assert!(rack_size > 0, "rack size must be nonzero");
+        // (rack, idx) -> number of distinct nodes in that rack needing idx.
+        let mut group_counts: HashMap<(u32, u32), u32> = HashMap::new();
+        for p in 0..self.nodes() {
+            let rack = p / rack_size;
+            let mut seen: HashSet<u32> = HashSet::new();
+            for &idx in self.stream(p) {
+                let owner = self.owner(idx);
+                if owner != p && owner / rack_size != rack && seen.insert(idx) {
+                    *group_counts.entry((rack, idx)).or_insert(0) += 1;
+                }
+            }
+        }
+        let total: u64 = group_counts.values().map(|&c| c as u64).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let shared: u64 = group_counts
+            .values()
+            .filter(|&&c| c >= 2)
+            .map(|&c| c as u64)
+            .sum();
+        shared as f64 / total as f64
+    }
+}
+
+/// Per-node transfer counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodePattern {
+    /// Nonzeros scanned by the node.
+    pub nnz: u64,
+    /// References to remotely owned columns (= SA transfers, unfiltered).
+    pub remote_refs: u64,
+    /// Distinct remotely owned columns referenced (= useful transfers).
+    pub unique_remote: u64,
+    /// Properties received under the SU (dense all-to-all) schedule.
+    pub su_received: u64,
+}
+
+/// Aggregate SU/SA transfer statistics for a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternStats {
+    /// Number of nodes.
+    pub nodes: u32,
+    /// Number of columns in the input property array.
+    pub n_cols: u32,
+    /// Per-node breakdown.
+    pub per_node: Vec<NodePattern>,
+}
+
+impl PatternStats {
+    /// Total nonzeros.
+    pub fn total_nnz(&self) -> u64 {
+        self.per_node.iter().map(|n| n.nnz).sum()
+    }
+
+    /// Total SA transfers (one per remote nonzero reference).
+    pub fn total_remote_refs(&self) -> u64 {
+        self.per_node.iter().map(|n| n.remote_refs).sum()
+    }
+
+    /// Total useful transfers (unique per node).
+    pub fn total_unique_remote(&self) -> u64 {
+        self.per_node.iter().map(|n| n.unique_remote).sum()
+    }
+
+    /// Total property transfers under the SU schedule.
+    pub fn total_su_transfers(&self) -> u64 {
+        self.per_node.iter().map(|n| n.su_received).sum()
+    }
+
+    /// Redundant SU transfers per useful transfer (Table 1, row "SU").
+    pub fn su_redundancy(&self) -> f64 {
+        let useful = self.total_unique_remote();
+        if useful == 0 {
+            return 0.0;
+        }
+        (self.total_su_transfers() - useful) as f64 / useful as f64
+    }
+
+    /// Redundant SA transfers per useful transfer (Table 1, row "SA").
+    pub fn sa_redundancy(&self) -> f64 {
+        let useful = self.total_unique_remote();
+        if useful == 0 {
+            return 0.0;
+        }
+        (self.total_remote_refs() - useful) as f64 / useful as f64
+    }
+
+    /// Fraction of nonzero references that touch remote columns.
+    pub fn remote_fraction(&self) -> f64 {
+        let nnz = self.total_nnz();
+        if nnz == 0 {
+            0.0
+        } else {
+            self.total_remote_refs() as f64 / nnz as f64
+        }
+    }
+
+    /// Average reuse of each unique remote column per node
+    /// (`remote_refs / unique_remote`).
+    pub fn reuse(&self) -> f64 {
+        let u = self.total_unique_remote();
+        if u == 0 {
+            0.0
+        } else {
+            self.total_remote_refs() as f64 / u as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    /// Build the paper's Figure 1 example: 8x8 matrix, 4 nodes, nonzeros
+    /// a..g with the depicted coordinates.
+    fn figure1() -> CommWorkload {
+        // (row, col): a=(0,4), b=(1,1), c=(2,6), d=(4,3), e=(5,3),
+        // f=(6,0), g=(7,7)
+        let mut m = CooMatrix::new(8, 8);
+        for (r, c) in [(0, 4), (1, 1), (2, 6), (4, 3), (5, 3), (6, 0), (7, 7)] {
+            m.push(r, c, 1.0);
+        }
+        let part = Partition1D::even(8, 4);
+        CommWorkload::from_csr(&m.to_csr(), &part)
+    }
+
+    #[test]
+    fn figure1_remote_transfers_match_paper() {
+        let wl = figure1();
+        let stats = wl.pattern_stats();
+        // Paper: b and g are local; a, c, d, e, f are remote refs; d and e
+        // share idx 3, so useful (unique per node) transfers are 4.
+        assert_eq!(stats.total_remote_refs(), 5);
+        assert_eq!(stats.total_unique_remote(), 4);
+        // SU: every node receives all 6 remote properties regardless.
+        assert_eq!(stats.total_su_transfers(), 4 * 6);
+        assert!((stats.sa_redundancy() - 0.25).abs() < 1e-12);
+        assert!((stats.su_redundancy() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_streams_validates_bounds() {
+        let part = Partition1D::even(4, 2);
+        let result = std::panic::catch_unwind(|| {
+            CommWorkload::from_streams(part, vec![2, 2], vec![vec![0], vec![9]])
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn dest_locality_of_single_destination_stream() {
+        let part = Partition1D::even(64, 4);
+        // Node 0 references only node 1's columns.
+        let stream0: Vec<u32> = (0..128).map(|i| 16 + (i % 16)).collect();
+        let wl =
+            CommWorkload::from_streams(part, vec![16; 4], vec![stream0, vec![], vec![], vec![]]);
+        assert!((wl.dest_locality(64) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dest_locality_counts_distinct_owners() {
+        let part = Partition1D::even(64, 4);
+        // Node 0 alternates between node 1, 2 and 3 columns.
+        let stream0: Vec<u32> = (0..192)
+            .map(|i| match i % 3 {
+                0 => 16,
+                1 => 32,
+                _ => 48,
+            })
+            .collect();
+        let wl =
+            CommWorkload::from_streams(part, vec![16; 4], vec![stream0, vec![], vec![], vec![]]);
+        assert!((wl.dest_locality(64) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rack_sharing_detects_shared_needs() {
+        let part = Partition1D::even(64, 4);
+        // Rack size 2: nodes {0,1} and {2,3}. Nodes 0 and 1 both need
+        // column 32 (owned by node 2, other rack) -> shared. Node 0 also
+        // needs column 48 alone -> unshared.
+        let wl = CommWorkload::from_streams(
+            part,
+            vec![16; 4],
+            vec![vec![32, 48], vec![32], vec![], vec![]],
+        );
+        let s = wl.rack_sharing(2);
+        // pairs: (rack0, 32) x2 nodes -> 2 shared pairs; (rack0, 48) -> 1.
+        assert!((s - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rack_sharing_ignores_intra_rack_properties() {
+        let part = Partition1D::even(64, 4);
+        // Rack size 2: node 0 referencing node 1's columns is intra-rack.
+        let wl = CommWorkload::from_streams(
+            part,
+            vec![16; 4],
+            vec![vec![16, 17], vec![], vec![], vec![]],
+        );
+        assert_eq!(wl.rack_sharing(2), 0.0);
+    }
+
+    #[test]
+    fn reuse_and_remote_fraction() {
+        let wl = figure1();
+        let s = wl.pattern_stats();
+        assert!((s.remote_fraction() - 5.0 / 7.0).abs() < 1e-12);
+        assert!((s.reuse() - 1.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,190 @@
+//! Coordinate-format (triplet) sparse matrices.
+
+use crate::csr::CsrMatrix;
+
+/// A sparse matrix stored as `(row, col, value)` triplets.
+///
+/// COO is the construction format: generators and Matrix Market parsing
+/// produce it, and [`CooMatrix::to_csr`] converts to the compute format.
+///
+/// # Example
+///
+/// ```
+/// use netsparse_sparse::CooMatrix;
+/// let mut m = CooMatrix::new(3, 4);
+/// m.push(0, 1, 2.0);
+/// m.push(2, 3, -1.0);
+/// assert_eq!(m.nnz(), 2);
+/// let csr = m.to_csr();
+/// assert_eq!(csr.nnz(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix {
+    nrows: u32,
+    ncols: u32,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+impl CooMatrix {
+    /// Creates an empty matrix of the given shape.
+    pub fn new(nrows: u32, ncols: u32) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Creates an empty matrix with room for `cap` nonzeros.
+    pub fn with_capacity(nrows: u32, ncols: u32, cap: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> u32 {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> u32 {
+        self.ncols
+    }
+
+    /// Number of stored entries (possibly with duplicates before
+    /// [`CooMatrix::sum_duplicates`]).
+    pub fn nnz(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Appends a triplet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`col` are out of bounds.
+    #[inline]
+    pub fn push(&mut self, row: u32, col: u32, val: f32) {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "entry ({row}, {col}) out of bounds for {}x{} matrix",
+            self.nrows,
+            self.ncols
+        );
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+    }
+
+    /// Iterates over `(row, col, value)` triplets in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Sorts entries by `(row, col)` and sums duplicate coordinates.
+    pub fn sum_duplicates(&mut self) {
+        let mut order: Vec<u32> = (0..self.nnz() as u32).collect();
+        order.sort_unstable_by_key(|&i| (self.rows[i as usize], self.cols[i as usize]));
+        let mut rows = Vec::with_capacity(self.nnz());
+        let mut cols = Vec::with_capacity(self.nnz());
+        let mut vals = Vec::with_capacity(self.nnz());
+        for &i in &order {
+            let (r, c, v) = (
+                self.rows[i as usize],
+                self.cols[i as usize],
+                self.vals[i as usize],
+            );
+            if rows.last() == Some(&r) && cols.last() == Some(&c) {
+                *vals.last_mut().expect("parallel arrays") += v;
+            } else {
+                rows.push(r);
+                cols.push(c);
+                vals.push(v);
+            }
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.vals = vals;
+    }
+
+    /// Converts to CSR, sorting entries and summing duplicates.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut sorted = self.clone();
+        sorted.sum_duplicates();
+        let mut row_ptr = vec![0usize; self.nrows as usize + 1];
+        for &r in &sorted.rows {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.nrows as usize {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        CsrMatrix::from_parts(self.nrows, self.ncols, row_ptr, sorted.cols, sorted.vals)
+    }
+}
+
+impl Extend<(u32, u32, f32)> for CooMatrix {
+    fn extend<T: IntoIterator<Item = (u32, u32, f32)>>(&mut self, iter: T) {
+        for (r, c, v) in iter {
+            self.push(r, c, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 0, 1.0);
+        m.push(1, 1, 2.0);
+        let triplets: Vec<_> = m.iter().collect();
+        assert_eq!(triplets, vec![(0, 0, 1.0), (1, 1, 2.0)]);
+    }
+
+    #[test]
+    fn sum_duplicates_merges_and_sorts() {
+        let mut m = CooMatrix::new(2, 3);
+        m.push(1, 2, 1.0);
+        m.push(0, 1, 5.0);
+        m.push(1, 2, 3.0);
+        m.sum_duplicates();
+        let triplets: Vec<_> = m.iter().collect();
+        assert_eq!(triplets, vec![(0, 1, 5.0), (1, 2, 4.0)]);
+    }
+
+    #[test]
+    fn extend_collects_triplets() {
+        let mut m = CooMatrix::new(4, 4);
+        m.extend([(0, 0, 1.0), (3, 3, 2.0)]);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_out_of_bounds_panics() {
+        CooMatrix::new(2, 2).push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn to_csr_counts_match() {
+        let mut m = CooMatrix::new(3, 3);
+        m.extend([(2, 0, 1.0), (0, 2, 1.0), (2, 2, 1.0), (2, 0, 1.0)]);
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 3); // duplicate (2,0) merged
+        assert_eq!(csr.row(2).count(), 2);
+    }
+}

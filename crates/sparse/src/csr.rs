@@ -1,0 +1,255 @@
+//! Compressed-sparse-row matrices: the compute/scan format.
+
+use std::fmt;
+
+/// A sparse matrix in CSR form.
+///
+/// The nonzeros of row `i` live at positions `row_ptr[i]..row_ptr[i+1]` of
+/// the parallel `col_idx`/`vals` arrays, with column indices sorted within
+/// each row. This is the format the paper's kernels scan: for each nonzero,
+/// its column index (the paper's *idx*) names the input property to gather.
+///
+/// # Example
+///
+/// ```
+/// use netsparse_sparse::{CooMatrix, CsrMatrix};
+/// let mut coo = CooMatrix::new(2, 3);
+/// coo.push(0, 2, 1.5);
+/// coo.push(1, 0, -2.0);
+/// let m: CsrMatrix = coo.to_csr();
+/// let row0: Vec<_> = m.row(0).collect();
+/// assert_eq!(row0, vec![(2, 1.5)]);
+/// assert_eq!(m.nnz(), 2);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: u32,
+    ncols: u32,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+impl fmt::Debug for CsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CsrMatrix")
+            .field("nrows", &self.nrows)
+            .field("ncols", &self.ncols)
+            .field("nnz", &self.nnz())
+            .finish()
+    }
+}
+
+impl CsrMatrix {
+    /// Assembles a CSR matrix from raw parts, validating all invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_ptr` has the wrong length, is not monotone, does not
+    /// end at `col_idx.len()`, if `col_idx` and `vals` differ in length, if
+    /// any column index is out of bounds, or if columns within a row are not
+    /// strictly increasing.
+    pub fn from_parts(
+        nrows: u32,
+        ncols: u32,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        vals: Vec<f32>,
+    ) -> Self {
+        assert_eq!(
+            row_ptr.len(),
+            nrows as usize + 1,
+            "row_ptr length must be nrows + 1"
+        );
+        assert_eq!(
+            col_idx.len(),
+            vals.len(),
+            "col_idx and vals must be parallel arrays"
+        );
+        assert_eq!(
+            *row_ptr.last().expect("non-empty row_ptr"),
+            col_idx.len(),
+            "row_ptr must end at nnz"
+        );
+        for w in row_ptr.windows(2) {
+            assert!(w[0] <= w[1], "row_ptr must be nondecreasing");
+        }
+        for i in 0..nrows as usize {
+            let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+            for pair in row.windows(2) {
+                assert!(
+                    pair[0] < pair[1],
+                    "columns within row {i} must be strictly increasing"
+                );
+            }
+            if let Some(&last) = row.last() {
+                assert!(last < ncols, "column index {last} out of bounds in row {i}");
+            }
+        }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> u32 {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> u32 {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The row-pointer array (`nrows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// All column indices, row-major.
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// All values, parallel to [`CsrMatrix::col_idx`].
+    pub fn values(&self) -> &[f32] {
+        &self.vals
+    }
+
+    /// Number of nonzeros in row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row_nnz(&self, i: u32) -> usize {
+        self.row_ptr[i as usize + 1] - self.row_ptr[i as usize]
+    }
+
+    /// Iterates over `(col, value)` pairs of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: u32) -> impl Iterator<Item = (u32, f32)> + '_ {
+        let span = self.row_ptr[i as usize]..self.row_ptr[i as usize + 1];
+        self.col_idx[span.clone()]
+            .iter()
+            .zip(&self.vals[span])
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// Iterates over all `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        (0..self.nrows).flat_map(move |r| self.row(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// Returns the transpose (a CSR matrix of the transposed shape).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut row_ptr = vec![0usize; self.ncols as usize + 1];
+        for &c in &self.col_idx {
+            row_ptr[c as usize + 1] += 1;
+        }
+        for i in 0..self.ncols as usize {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut cursor = row_ptr.clone();
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut vals = vec![0f32; self.nnz()];
+        for (r, c, v) in self.iter() {
+            let slot = cursor[c as usize];
+            cursor[c as usize] += 1;
+            col_idx[slot] = r;
+            vals[slot] = v;
+        }
+        CsrMatrix::from_parts(self.ncols, self.nrows, row_ptr, col_idx, vals)
+    }
+
+    /// Average nonzeros per row.
+    pub fn avg_row_nnz(&self) -> f64 {
+        if self.nrows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.nrows as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn sample() -> CsrMatrix {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.extend([(0, 1, 1.0), (0, 3, 2.0), (1, 0, 3.0), (2, 2, 4.0)]);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn accessors() {
+        let m = sample();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 4);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(1), 1);
+        assert!((m.avg_row_nnz() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_is_row_major_sorted() {
+        let m = sample();
+        let t: Vec<_> = m.iter().collect();
+        assert_eq!(t, vec![(0, 1, 1.0), (0, 3, 2.0), (1, 0, 3.0), (2, 2, 4.0)]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let tt = m.transpose().transpose();
+        assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn transpose_moves_entries() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 4);
+        assert_eq!(t.ncols(), 3);
+        let row1: Vec<_> = t.row(1).collect();
+        assert_eq!(row1, vec![(0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr must end at nnz")]
+    fn from_parts_validates_row_ptr_end() {
+        CsrMatrix::from_parts(1, 2, vec![0, 2], vec![0], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_parts_validates_sorted_columns() {
+        CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_parts_validates_column_bounds() {
+        CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let s = format!("{:?}", sample());
+        assert!(s.contains("nnz"));
+    }
+}

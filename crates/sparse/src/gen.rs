@@ -1,0 +1,257 @@
+//! Structural synthetic matrix generators.
+//!
+//! These produce matrices with the classic structures of the paper's
+//! benchmark domains: banded FEM-style matrices (queen), near-planar road
+//! networks (europe), and power-law web/social graphs (arabic, uk). The
+//! calibrated benchmark stand-ins in [`crate::suite`] control communication
+//! signatures directly; the generators here are the reusable library pieces
+//! (used by examples, kernel tests and anyone adopting the crate).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coo::CooMatrix;
+
+/// Generates a banded square matrix: each of the `n` rows gets
+/// `nnz_per_row` nonzeros uniformly within `[i - halfwidth, i + halfwidth]`
+/// (clamped to the matrix), deduplicated.
+///
+/// This mimics FEM matrices like the paper's `queen_4147`: accesses
+/// concentrate around the diagonal, so with 1-D partitioning remote reads
+/// target only neighbouring nodes.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn banded(n: u32, nnz_per_row: u32, halfwidth: u32, seed: u64) -> CooMatrix {
+    assert!(n > 0, "matrix must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = CooMatrix::with_capacity(n, n, (n * nnz_per_row) as usize);
+    for i in 0..n {
+        let lo = i.saturating_sub(halfwidth);
+        let hi = (i + halfwidth).min(n - 1);
+        for _ in 0..nnz_per_row {
+            let j = rng.gen_range(lo..=hi);
+            m.push(i, j, rng.gen_range(-1.0..1.0));
+        }
+    }
+    m.sum_duplicates();
+    m
+}
+
+/// Generates a road-network-like matrix: vertices on a `side x side` grid,
+/// each connected to a few lattice neighbours plus rare shortcuts.
+///
+/// The resulting adjacency matrix is extremely sparse (average degree
+/// ~`2 + shortcut_prob`), near-planar and has almost no column reuse —
+/// the signature of the paper's `europe_osm`.
+///
+/// # Panics
+///
+/// Panics if `side == 0`.
+pub fn road_network(side: u32, shortcut_prob: f64, seed: u64) -> CooMatrix {
+    assert!(side > 0, "grid must be non-empty");
+    let n = side * side;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = CooMatrix::with_capacity(n, n, (n as usize) * 3);
+    let at = |x: u32, y: u32| y * side + x;
+    for y in 0..side {
+        for x in 0..side {
+            let v = at(x, y);
+            if x + 1 < side {
+                m.push(v, at(x + 1, y), 1.0);
+            }
+            if y + 1 < side {
+                m.push(v, at(x, y + 1), 1.0);
+            }
+            if rng.gen_bool(shortcut_prob) {
+                let w = rng.gen_range(0..n);
+                if w != v {
+                    m.push(v, w, 1.0);
+                }
+            }
+        }
+    }
+    m.sum_duplicates();
+    m
+}
+
+/// Parameters for [`power_law`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawParams {
+    /// Number of rows/columns.
+    pub n: u32,
+    /// Average nonzeros per row.
+    pub nnz_per_row: u32,
+    /// Zipf exponent for column popularity (larger = more skewed hubs).
+    pub alpha: f64,
+    /// Probability that a nonzero lands near the diagonal instead of on a
+    /// globally popular column — models the URL-locality of web crawls.
+    pub locality: f64,
+    /// Half-width of the "near diagonal" window used for local nonzeros.
+    pub local_window: u32,
+}
+
+impl Default for PowerLawParams {
+    fn default() -> Self {
+        PowerLawParams {
+            n: 4_096,
+            nnz_per_row: 16,
+            alpha: 0.9,
+            locality: 0.7,
+            local_window: 64,
+        }
+    }
+}
+
+/// Generates a power-law (web-crawl-like) matrix: each nonzero either lands
+/// within a local diagonal window (probability `locality`) or on a column
+/// drawn from a Zipf distribution over the whole matrix.
+///
+/// The combination of hub columns (heavy reuse → filtering/caching
+/// opportunities) and diagonal locality (destination locality → good
+/// concatenation) mirrors the paper's `arabic-2005` and `uk-2002`.
+///
+/// # Panics
+///
+/// Panics if `params.n == 0` or `params.alpha >= 1.0` is not in `[0, 1)`.
+pub fn power_law(params: PowerLawParams, seed: u64) -> CooMatrix {
+    let PowerLawParams {
+        n,
+        nnz_per_row,
+        alpha,
+        locality,
+        local_window,
+    } = params;
+    assert!(n > 0, "matrix must be non-empty");
+    assert!(
+        (0.0..1.0).contains(&alpha),
+        "zipf exponent must be in [0, 1) for inverse-CDF sampling"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = CooMatrix::with_capacity(n, n, (n * nnz_per_row) as usize);
+    let inv_exp = 1.0 / (1.0 - alpha);
+    // Popularity rank -> column id permutation (cheap multiplicative hash)
+    // so hubs are scattered through the column space like real crawls.
+    let scatter =
+        |rank: u32| -> u32 { ((rank as u64).wrapping_mul(2_654_435_761) % n as u64) as u32 };
+    for i in 0..n {
+        for _ in 0..nnz_per_row {
+            let j = if rng.gen_bool(locality) {
+                let lo = i.saturating_sub(local_window);
+                let hi = (i + local_window).min(n - 1);
+                rng.gen_range(lo..=hi)
+            } else {
+                // Inverse-CDF Zipf sample over ranks [0, n).
+                let u: f64 = rng.gen_range(0.0f64..1.0);
+                let rank = ((n as f64) * u.powf(inv_exp)).min(n as f64 - 1.0) as u32;
+                scatter(rank)
+            };
+            m.push(i, j, rng.gen_range(-1.0..1.0));
+        }
+    }
+    m.sum_duplicates();
+    m
+}
+
+/// Generates a uniformly random sparse matrix (no structure): mostly useful
+/// as a worst case for locality-dependent mechanisms.
+///
+/// # Panics
+///
+/// Panics if `nrows == 0` or `ncols == 0`.
+pub fn uniform(nrows: u32, ncols: u32, nnz: usize, seed: u64) -> CooMatrix {
+    assert!(nrows > 0 && ncols > 0, "matrix must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = CooMatrix::with_capacity(nrows, ncols, nnz);
+    for _ in 0..nnz {
+        m.push(
+            rng.gen_range(0..nrows),
+            rng.gen_range(0..ncols),
+            rng.gen_range(-1.0..1.0),
+        );
+    }
+    m.sum_duplicates();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partition1D;
+
+    #[test]
+    fn banded_stays_in_band() {
+        let m = banded(256, 6, 10, 1);
+        for (i, j, _) in m.iter() {
+            assert!(
+                (i as i64 - j as i64).unsigned_abs() <= 10,
+                "({i},{j}) outside band"
+            );
+        }
+    }
+
+    #[test]
+    fn banded_remote_refs_hit_only_neighbours() {
+        let m = banded(1_024, 8, 20, 2).to_csr();
+        let part = Partition1D::even(1_024, 8);
+        for (i, j, _) in m.iter() {
+            let src = part.owner(i);
+            let dst = part.owner(j);
+            assert!(
+                (src as i64 - dst as i64).abs() <= 1,
+                "banded remote ref crossed more than one node"
+            );
+        }
+    }
+
+    #[test]
+    fn road_network_degree_is_tiny() {
+        let m = road_network(64, 0.05, 3);
+        let avg = m.nnz() as f64 / (64.0 * 64.0);
+        assert!(avg < 3.0, "road network too dense: {avg}");
+    }
+
+    #[test]
+    fn power_law_has_hub_columns() {
+        let m = power_law(
+            PowerLawParams {
+                n: 2_048,
+                nnz_per_row: 16,
+                alpha: 0.9,
+                locality: 0.3,
+                local_window: 32,
+            },
+            4,
+        );
+        let mut col_counts = vec![0u32; 2_048];
+        for (_, j, _) in m.iter() {
+            col_counts[j as usize] += 1;
+        }
+        let max = *col_counts.iter().max().unwrap();
+        let mean = m.nnz() as f64 / 2_048.0;
+        assert!(
+            max as f64 > mean * 10.0,
+            "expected hubs: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(banded(128, 4, 8, 9), banded(128, 4, 8, 9));
+        assert_eq!(road_network(16, 0.1, 9), road_network(16, 0.1, 9));
+        assert_eq!(
+            power_law(PowerLawParams::default(), 9),
+            power_law(PowerLawParams::default(), 9)
+        );
+        assert_eq!(uniform(32, 32, 100, 9), uniform(32, 32, 100, 9));
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let m = uniform(10, 20, 500, 5);
+        for (i, j, _) in m.iter() {
+            assert!(i < 10 && j < 20);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Matrix Market (`.mtx`) reading and writing.
+//!
+//! The paper's benchmarks come from the SuiteSparse collection, which is
+//! distributed in Matrix Market format. The synthetic suite in
+//! [`crate::suite`] is the default data source in this repository, but this
+//! module lets anyone with the real matrices on disk run the same pipeline
+//! on them (`coordinate real/integer/pattern general|symmetric` headers are
+//! supported — the subset SuiteSparse uses).
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::coo::CooMatrix;
+
+/// Error parsing a Matrix Market stream.
+#[derive(Debug)]
+pub struct ParseMatrixError {
+    line: usize,
+    message: String,
+}
+
+impl ParseMatrixError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseMatrixError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "matrix market parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl Error for ParseMatrixError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+}
+
+/// Reads a Matrix Market `coordinate` matrix into COO form.
+///
+/// Symmetric matrices are expanded (both `(i, j)` and `(j, i)` emitted for
+/// off-diagonal entries); `pattern` matrices get value 1.0.
+///
+/// # Errors
+///
+/// Returns [`ParseMatrixError`] on malformed headers, non-coordinate
+/// formats, unsupported field/symmetry kinds, out-of-range indices, or
+/// entry-count mismatches.
+///
+/// # Example
+///
+/// ```
+/// use netsparse_sparse::io::read_matrix_market;
+/// let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 3.5\n2 1 -1\n";
+/// let m = read_matrix_market(text.as_bytes())?;
+/// assert_eq!(m.nnz(), 2);
+/// # Ok::<(), netsparse_sparse::io::ParseMatrixError>(())
+/// ```
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CooMatrix, ParseMatrixError> {
+    let mut lines = reader.lines().enumerate();
+
+    // Header line.
+    let (lineno, header) = match lines.next() {
+        Some((n, Ok(l))) => (n + 1, l),
+        Some((n, Err(e))) => return Err(ParseMatrixError::new(n + 1, e.to_string())),
+        None => return Err(ParseMatrixError::new(0, "empty input")),
+    };
+    let tokens: Vec<&str> = header.split_whitespace().collect();
+    if tokens.len() < 5 || !tokens[0].eq_ignore_ascii_case("%%MatrixMarket") {
+        return Err(ParseMatrixError::new(
+            lineno,
+            "missing %%MatrixMarket header",
+        ));
+    }
+    if !tokens[2].eq_ignore_ascii_case("coordinate") {
+        return Err(ParseMatrixError::new(
+            lineno,
+            format!("unsupported format '{}' (only coordinate)", tokens[2]),
+        ));
+    }
+    let field = match tokens[3].to_ascii_lowercase().as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => {
+            return Err(ParseMatrixError::new(
+                lineno,
+                format!("unsupported field '{other}'"),
+            ))
+        }
+    };
+    let symmetry = match tokens[4].to_ascii_lowercase().as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        other => {
+            return Err(ParseMatrixError::new(
+                lineno,
+                format!("unsupported symmetry '{other}'"),
+            ))
+        }
+    };
+
+    // Size line (skipping comments).
+    let (lineno, size_line) = loop {
+        match lines.next() {
+            Some((n, Ok(l))) => {
+                if l.trim().is_empty() || l.starts_with('%') {
+                    continue;
+                }
+                break (n + 1, l);
+            }
+            Some((n, Err(e))) => return Err(ParseMatrixError::new(n + 1, e.to_string())),
+            None => return Err(ParseMatrixError::new(0, "missing size line")),
+        }
+    };
+    let dims: Vec<&str> = size_line.split_whitespace().collect();
+    if dims.len() != 3 {
+        return Err(ParseMatrixError::new(
+            lineno,
+            "size line must have 3 fields",
+        ));
+    }
+    let parse_dim = |s: &str| -> Result<u64, ParseMatrixError> {
+        s.parse::<u64>()
+            .map_err(|e| ParseMatrixError::new(lineno, format!("bad size field '{s}': {e}")))
+    };
+    let nrows = parse_dim(dims[0])?;
+    let ncols = parse_dim(dims[1])?;
+    let nnz = parse_dim(dims[2])? as usize;
+    if nrows > u32::MAX as u64 || ncols > u32::MAX as u64 {
+        return Err(ParseMatrixError::new(
+            lineno,
+            "matrix dimensions exceed u32",
+        ));
+    }
+
+    let mut m = CooMatrix::with_capacity(nrows as u32, ncols as u32, nnz);
+    let mut seen = 0usize;
+    for (n, line) in lines {
+        let line = line.map_err(|e| ParseMatrixError::new(n + 1, e.to_string()))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (i, j) = match (it.next(), it.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Err(ParseMatrixError::new(n + 1, "entry needs row and col")),
+        };
+        let i: u64 = i
+            .parse()
+            .map_err(|e| ParseMatrixError::new(n + 1, format!("bad row '{i}': {e}")))?;
+        let j: u64 = j
+            .parse()
+            .map_err(|e| ParseMatrixError::new(n + 1, format!("bad col '{j}': {e}")))?;
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(ParseMatrixError::new(
+                n + 1,
+                format!("entry ({i}, {j}) outside {nrows}x{ncols} (1-based)"),
+            ));
+        }
+        let v = match field {
+            Field::Pattern => 1.0f32,
+            Field::Real | Field::Integer => match it.next() {
+                Some(s) => s
+                    .parse::<f32>()
+                    .map_err(|e| ParseMatrixError::new(n + 1, format!("bad value '{s}': {e}")))?,
+                None => return Err(ParseMatrixError::new(n + 1, "entry missing value")),
+            },
+        };
+        let (r, c) = ((i - 1) as u32, (j - 1) as u32);
+        m.push(r, c, v);
+        if symmetry == Symmetry::Symmetric && r != c {
+            m.push(c, r, v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(ParseMatrixError::new(
+            0,
+            format!("expected {nnz} entries, found {seen}"),
+        ));
+    }
+    Ok(m)
+}
+
+/// Writes a COO matrix as `coordinate real general` Matrix Market text.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_matrix_market<W: Write>(m: &CooMatrix, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for (i, j, v) in m.iter() {
+        writeln!(writer, "{} {} {}", i + 1, j + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_general_real() {
+        let mut m = CooMatrix::new(3, 2);
+        m.extend([(0, 1, 2.5), (2, 0, -1.0)]);
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back = read_matrix_market(&buf[..]).unwrap();
+        let a: Vec<_> = m.iter().collect();
+        let b: Vec<_> = back.iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pattern_matrices_get_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n2 2\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.iter().next(), Some((1, 1, 1.0)));
+    }
+
+    #[test]
+    fn symmetric_matrices_are_expanded() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5\n3 3 1\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        let entries: Vec<_> = m.iter().collect();
+        assert!(entries.contains(&(1, 0, 5.0)));
+        assert!(entries.contains(&(0, 1, 5.0)));
+        assert_eq!(entries.len(), 3); // diagonal not duplicated
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% a comment\n\n2 2 1\n1 1 1.0\n";
+        assert_eq!(read_matrix_market(text.as_bytes()).unwrap().nnz(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn wrong_count_is_an_error() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_array_format() {
+        let text = "%%MatrixMarket matrix array real general\n2 2\n1.0\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("coordinate"));
+    }
+}

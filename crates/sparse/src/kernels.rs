@@ -1,0 +1,201 @@
+//! Reference implementations of the paper's sparse kernels.
+//!
+//! These are the *functional* (single-address-space) versions of SpMV, SpMM
+//! and SDDMM (§2.1). They define the ground truth that the distributed
+//! simulation's gathered property arrays are validated against, and they
+//! drive the compute-side roofline models in `netsparse-accel`.
+//!
+//! Dense operands use row-major layout: a property array with `n` properties
+//! of `K` elements is a `Vec<f32>` of length `n * K`, with property `i` at
+//! `[i*K .. (i+1)*K]` — matching the paper's tall-skinny dense matrices.
+
+use crate::csr::CsrMatrix;
+
+/// Sparse matrix–vector multiply: `y = A * x`.
+///
+/// Equivalent to [`spmm`] with `K = 1`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.ncols()`.
+///
+/// # Example
+///
+/// ```
+/// use netsparse_sparse::{CooMatrix, kernels::spmv};
+/// let mut m = CooMatrix::new(2, 2);
+/// m.push(0, 0, 2.0);
+/// m.push(1, 0, 3.0);
+/// let y = spmv(&m.to_csr(), &[10.0, 0.0]);
+/// assert_eq!(y, vec![20.0, 30.0]);
+/// ```
+pub fn spmv(a: &CsrMatrix, x: &[f32]) -> Vec<f32> {
+    assert_eq!(
+        x.len(),
+        a.ncols() as usize,
+        "input vector length must equal ncols"
+    );
+    let mut y = vec![0.0f32; a.nrows() as usize];
+    for (i, out) in y.iter_mut().enumerate() {
+        let mut acc = 0.0f32;
+        for (c, v) in a.row(i as u32) {
+            acc += v * x[c as usize];
+        }
+        *out = acc;
+    }
+    y
+}
+
+/// Sparse matrix × tall-skinny dense matrix: `C = A * B`.
+///
+/// `b` holds `a.ncols()` input properties of `k` elements each (row-major);
+/// the result holds `a.nrows()` output properties of `k` elements.
+///
+/// # Panics
+///
+/// Panics if `b.len() != a.ncols() * k` or `k == 0`.
+pub fn spmm(a: &CsrMatrix, b: &[f32], k: usize) -> Vec<f32> {
+    assert!(k > 0, "property size k must be nonzero");
+    assert_eq!(
+        b.len(),
+        a.ncols() as usize * k,
+        "dense operand must be ncols x k"
+    );
+    let mut c = vec![0.0f32; a.nrows() as usize * k];
+    for i in 0..a.nrows() {
+        let out = &mut c[i as usize * k..(i as usize + 1) * k];
+        for (col, v) in a.row(i) {
+            let prop = &b[col as usize * k..(col as usize + 1) * k];
+            for (o, p) in out.iter_mut().zip(prop) {
+                *o += v * p;
+            }
+        }
+    }
+    c
+}
+
+/// Sampled dense–dense matrix multiply: for each nonzero `(i, j)` of the
+/// sampling matrix `s`, computes `dot(a_row[i], b_row[j]) * s[i][j]` and
+/// returns the results in the nonzero scan order of `s`.
+///
+/// `a` holds `s.nrows()` properties of `k` elements; `b` holds `s.ncols()`
+/// properties of `k` elements (both row-major).
+///
+/// # Panics
+///
+/// Panics if operand shapes do not match `s` and `k`, or `k == 0`.
+pub fn sddmm(s: &CsrMatrix, a: &[f32], b: &[f32], k: usize) -> Vec<f32> {
+    assert!(k > 0, "property size k must be nonzero");
+    assert_eq!(a.len(), s.nrows() as usize * k, "A must be nrows x k");
+    assert_eq!(b.len(), s.ncols() as usize * k, "B must be ncols x k");
+    let mut out = Vec::with_capacity(s.nnz());
+    for (i, j, v) in s.iter() {
+        let ai = &a[i as usize * k..(i as usize + 1) * k];
+        let bj = &b[j as usize * k..(j as usize + 1) * k];
+        let dot: f32 = ai.iter().zip(bj).map(|(x, y)| x * y).sum();
+        out.push(dot * v);
+    }
+    out
+}
+
+/// Deterministic synthetic property value: element `e` of property `idx`.
+///
+/// The distributed simulation and the reference kernels both source their
+/// input properties from this function, so gathered buffers can be checked
+/// element-by-element without shipping real data around.
+#[inline]
+pub fn synthetic_property(idx: u32, e: usize) -> f32 {
+    // A cheap integer hash keeps values varied but exactly reproducible.
+    let h = (idx as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(e as u64);
+    let h = (h ^ (h >> 31)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    // Map to [-1, 1) to keep kernel accumulations well-conditioned.
+    ((h >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+}
+
+/// Fills a row-major property array of `n` properties × `k` elements with
+/// [`synthetic_property`] values.
+pub fn synthetic_properties(n: u32, k: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n as usize * k];
+    for idx in 0..n {
+        for e in 0..k {
+            out[idx as usize * k + e] = synthetic_property(idx, e);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn small() -> CsrMatrix {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        let mut m = CooMatrix::new(2, 3);
+        m.extend([(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]);
+        m.to_csr()
+    }
+
+    #[test]
+    fn spmv_matches_dense_math() {
+        let y = spmv(&small(), &[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn spmm_with_k1_equals_spmv() {
+        let m = small();
+        let x = [0.5, -1.0, 2.0];
+        let y1 = spmv(&m, &x);
+        let y2 = spmm(&m, &x, 1);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn spmm_k2() {
+        let m = small();
+        // properties: col0 = [1,10], col1 = [2,20], col2 = [3,30]
+        let b = [1.0, 10.0, 2.0, 20.0, 3.0, 30.0];
+        let c = spmm(&m, &b, 2);
+        // row0 = 1*[1,10] + 2*[3,30] = [7, 70]; row1 = 3*[2,20] = [6,60]
+        assert_eq!(c, vec![7.0, 70.0, 6.0, 60.0]);
+    }
+
+    #[test]
+    fn sddmm_computes_sampled_dots() {
+        let m = small();
+        let a = [1.0, 0.0, 0.0, 1.0]; // 2 x 2
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 3 x 2
+        let out = sddmm(&m, &a, &b, 2);
+        // nnz order: (0,0), (0,2), (1,1)
+        // (0,0): dot([1,0],[1,2]) * 1 = 1
+        // (0,2): dot([1,0],[5,6]) * 2 = 10
+        // (1,1): dot([0,1],[3,4]) * 3 = 12
+        assert_eq!(out, vec![1.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn synthetic_properties_are_deterministic_and_bounded() {
+        let a = synthetic_properties(100, 4);
+        let b = synthetic_properties(100, 4);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (-1.0..1.0).contains(v)));
+        // Not all identical.
+        assert!(a.iter().any(|&v| v != a[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "ncols")]
+    fn spmv_shape_mismatch_panics() {
+        spmv(&small(), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn spmm_zero_k_panics() {
+        spmm(&small(), &[], 0);
+    }
+}

@@ -1,0 +1,445 @@
+//! The segmented Property Cache (paper §6.2.2, Figure 9).
+//!
+//! The cache stores remote-rack properties keyed by idx. To support
+//! different kernels' property sizes with one SRAM array, it is built from
+//! 16 B **segments**: a row of 32 segments can hold thirty-two 16 B
+//! properties, sixteen 32 B properties, … or one 512 B property. Before a
+//! kernel runs, the control plane configures the *mode* (one property
+//! size); a Segment Selector then enables the right group of segments per
+//! access. Whatever the mode, the full capacity is usable.
+//!
+//! Functionally the cache is set-associative with true-LRU replacement
+//! (Table 5: 32 MB, 16 ways, 16-cycle access). The simulation models tags
+//! only — property payloads are synthesized deterministically end to end —
+//! but geometry, indexing and replacement are faithful.
+
+use serde::{Deserialize, Serialize};
+
+/// Replacement policy of the Property Cache. The paper's design point is
+/// LRU (Table 5); the alternatives exist for the policy ablation — FIFO
+/// ignores reuse, random needs no per-line state at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReplacementPolicy {
+    /// Evict the least recently used line (Table 5's choice).
+    #[default]
+    Lru,
+    /// Evict the oldest inserted line (hits do not refresh).
+    Fifo,
+    /// Evict a pseudo-random way.
+    Random,
+}
+
+/// Static geometry of a Property Cache (one middle-pipe bank).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PropertyCacheConfig {
+    /// Total data capacity in bytes (Table 5: 32 MB per switch).
+    pub capacity_bytes: u64,
+    /// Bytes per segment (Table 5: 16 B minimum line).
+    pub segment_bytes: u32,
+    /// Segments per row (Table 5: 32, i.e. 512 B maximum line).
+    pub n_segments: u32,
+    /// Associativity (Table 5: 16 ways).
+    pub ways: u32,
+    /// Access latency in switch cycles (Table 5: 16).
+    pub latency_cycles: u32,
+    /// Replacement policy (Table 5: LRU).
+    pub policy: ReplacementPolicy,
+}
+
+impl PropertyCacheConfig {
+    /// Table 5's per-switch configuration.
+    pub fn paper() -> Self {
+        PropertyCacheConfig {
+            capacity_bytes: 32 << 20,
+            segment_bytes: 16,
+            n_segments: 32,
+            ways: 16,
+            latency_cycles: 16,
+            policy: ReplacementPolicy::Lru,
+        }
+    }
+
+    /// Largest supported property size (`S_max`); larger properties must
+    /// be tiled by the host (paper §6.2.2).
+    pub fn max_property_bytes(&self) -> u32 {
+        self.segment_bytes * self.n_segments
+    }
+}
+
+impl Default for PropertyCacheConfig {
+    fn default() -> Self {
+        PropertyCacheConfig::paper()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    idx: u32,
+    last_use: u64,
+    valid: bool,
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read-PR lookups performed.
+    pub lookups: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Properties inserted.
+    pub insertions: u64,
+    /// Valid lines evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// A configured Property Cache bank.
+///
+/// # Example
+///
+/// ```
+/// use netsparse_switch::{PropertyCache, PropertyCacheConfig};
+///
+/// let mut cfg = PropertyCacheConfig::paper();
+/// cfg.capacity_bytes = 64 * 1024;
+/// let mut c = PropertyCache::new(cfg, /*property bytes*/ 64);
+/// assert!(!c.lookup(7));   // cold miss
+/// c.insert(7);
+/// assert!(c.lookup(7));    // hit
+/// assert_eq!(c.stats().hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PropertyCache {
+    cfg: PropertyCacheConfig,
+    property_bytes: u32,
+    segments_per_entry: u32,
+    sets: usize,
+    lines: Vec<Line>, // sets x ways, row-major
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl PropertyCache {
+    /// Creates an invalid (cold) cache configured for `property_bytes`
+    /// properties.
+    ///
+    /// Property sizes are rounded up to a whole number of segments; sizes
+    /// above [`PropertyCacheConfig::max_property_bytes`] panic — the host
+    /// is expected to tile such kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `property_bytes` is 0 or exceeds `S_max`, or the
+    /// configured capacity cannot hold a single way of lines.
+    pub fn new(cfg: PropertyCacheConfig, property_bytes: u32) -> Self {
+        assert!(property_bytes > 0, "property size must be nonzero");
+        assert!(
+            property_bytes <= cfg.max_property_bytes(),
+            "property size {property_bytes} exceeds S_max {}; tile the input array",
+            cfg.max_property_bytes()
+        );
+        let segments_per_entry = property_bytes
+            .div_ceil(cfg.segment_bytes)
+            .next_power_of_two();
+        let line_bytes = (segments_per_entry * cfg.segment_bytes) as u64;
+        let entries = (cfg.capacity_bytes / line_bytes) as usize;
+        assert!(
+            entries >= cfg.ways as usize,
+            "capacity too small for one set of {} ways",
+            cfg.ways
+        );
+        let sets = entries / cfg.ways as usize;
+        PropertyCache {
+            cfg,
+            property_bytes,
+            segments_per_entry,
+            sets,
+            lines: vec![
+                Line {
+                    idx: 0,
+                    last_use: 0,
+                    valid: false
+                };
+                sets * cfg.ways as usize
+            ],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured property size in bytes.
+    pub fn property_bytes(&self) -> u32 {
+        self.property_bytes
+    }
+
+    /// Number of lines the cache can hold in this mode.
+    pub fn entries(&self) -> usize {
+        self.sets * self.cfg.ways as usize
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The geometry configuration.
+    pub fn config(&self) -> &PropertyCacheConfig {
+        &self.cfg
+    }
+
+    /// Figure 9's Segment Selector: the 32-bit enable mask raised for
+    /// `idx`'s access in the current mode. The selector ignores the low
+    /// `log2(segments_per_entry)` segment bits and enables that many
+    /// adjacent segments.
+    pub fn segment_enable_mask(&self, idx: u32) -> u32 {
+        let seg_bits = idx % self.cfg.n_segments;
+        let group = seg_bits / self.segments_per_entry;
+        let base = ((1u64 << self.segments_per_entry) - 1) as u32;
+        base << (group * self.segments_per_entry)
+    }
+
+    #[inline]
+    fn set_of(&self, idx: u32) -> usize {
+        // Low bits above the segment field index the set; a multiplicative
+        // scramble avoids pathological striding from 1-D partitions.
+        let above = (idx / self.cfg.n_segments) as u64;
+        ((above.wrapping_mul(0x9E37_79B9)) % self.sets as u64) as usize
+    }
+
+    fn set_lines(&mut self, set: usize) -> &mut [Line] {
+        let w = self.cfg.ways as usize;
+        &mut self.lines[set * w..(set + 1) * w]
+    }
+
+    /// Read-PR path: probes for `idx`, updating LRU and statistics.
+    /// Returns whether the property was present.
+    pub fn lookup(&mut self, idx: u32) -> bool {
+        self.stats.lookups += 1;
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(idx);
+        let refresh = self.cfg.policy == ReplacementPolicy::Lru;
+        for line in self.set_lines(set) {
+            if line.valid && line.idx == idx {
+                if refresh {
+                    line.last_use = tick;
+                }
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether `idx` is cached, without perturbing LRU or statistics.
+    pub fn contains(&self, idx: u32) -> bool {
+        let set = self.set_of(idx);
+        let w = self.cfg.ways as usize;
+        self.lines[set * w..(set + 1) * w]
+            .iter()
+            .any(|l| l.valid && l.idx == idx)
+    }
+
+    /// Response-PR path: deposits `idx`'s property if absent (the paper:
+    /// "If a PR finds the property, no action is taken. Otherwise, the
+    /// PR's property is saved in the cache"). Evicts the set's LRU line
+    /// when full.
+    pub fn insert(&mut self, idx: u32) {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(idx);
+        let policy = self.cfg.policy;
+        let mut victim = 0usize;
+        let mut victim_use = u64::MAX;
+        let mut invalid_way = None;
+        {
+            let lines = self.set_lines(set);
+            for (w, line) in lines.iter().enumerate() {
+                if line.valid && line.idx == idx {
+                    return; // already present: no action
+                }
+                if !line.valid && invalid_way.is_none() {
+                    invalid_way = Some(w);
+                }
+                // LRU tracks recency; FIFO tracks insertion age (hits do
+                // not refresh `last_use` under FIFO, so the same ranking
+                // applies).
+                let use_rank = if line.valid { line.last_use } else { 0 };
+                if use_rank < victim_use {
+                    victim_use = use_rank;
+                    victim = w;
+                }
+            }
+        }
+        if let Some(w) = invalid_way {
+            victim = w;
+        } else if policy == ReplacementPolicy::Random {
+            // Cheap stateless hash of (tick, idx) picks the way.
+            let h = (tick ^ idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            victim = (h >> 33) as usize % self.cfg.ways as usize;
+        }
+        let w = self.cfg.ways as usize;
+        let slot = set * w + victim;
+        if self.lines[slot].valid {
+            self.stats.evictions += 1;
+        }
+        self.lines[slot] = Line {
+            idx,
+            last_use: tick,
+            valid: true,
+        };
+        self.stats.insertions += 1;
+    }
+
+    /// Invalidates everything (control-plane reset before a kernel).
+    pub fn clear(&mut self) {
+        for line in &mut self.lines {
+            line.valid = false;
+        }
+        self.stats = CacheStats::default();
+        self.tick = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(capacity: u64, prop: u32) -> PropertyCache {
+        let cfg = PropertyCacheConfig {
+            capacity_bytes: capacity,
+            ..PropertyCacheConfig::paper()
+        };
+        PropertyCache::new(cfg, prop)
+    }
+
+    #[test]
+    fn geometry_uses_full_capacity_at_any_property_size() {
+        // 64 KB cache: 4096 lines at 16 B, 128 lines at 512 B.
+        assert_eq!(small(64 << 10, 16).entries(), 4096);
+        assert_eq!(small(64 << 10, 4).entries(), 4096); // K=1 rounds to 16 B
+        assert_eq!(small(64 << 10, 64).entries(), 1024);
+        assert_eq!(small(64 << 10, 512).entries(), 128);
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let mut c = small(64 << 10, 64);
+        assert!(!c.lookup(100));
+        c.insert(100);
+        assert!(c.lookup(100));
+        assert!(c.contains(100));
+        let s = c.stats();
+        assert_eq!((s.lookups, s.hits, s.insertions), (2, 1, 1));
+    }
+
+    #[test]
+    fn reinsert_is_a_no_op() {
+        let mut c = small(64 << 10, 64);
+        c.insert(5);
+        c.insert(5);
+        assert_eq!(c.stats().insertions, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // Capacity = exactly one set of 16 ways at 512 B lines: 8 KB.
+        let cfg = PropertyCacheConfig {
+            capacity_bytes: 16 * 512,
+            ..PropertyCacheConfig::paper()
+        };
+        let mut c = PropertyCache::new(cfg, 512);
+        assert_eq!(c.entries(), 16);
+        for i in 0..16 {
+            c.insert(i * 32); // same set (single set), distinct idxs
+        }
+        // Touch idx 0 so it is MRU; inserting a 17th evicts idx 32 (LRU).
+        assert!(c.lookup(0));
+        c.insert(16 * 32);
+        assert!(c.contains(0));
+        assert!(!c.contains(32));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn segment_selector_matches_figure9() {
+        // 32 B mode (2 segments per entry): segment bits 1110x enable the
+        // one-before-last pair, bits 28 and 29.
+        let c = small(64 << 10, 32);
+        let idx = 0b11100; // segment bits = 28
+        assert_eq!(c.segment_enable_mask(idx), 0b11 << 28);
+        // 16 B mode: exactly one enable bit.
+        let c = small(64 << 10, 16);
+        assert_eq!(c.segment_enable_mask(7).count_ones(), 1);
+        // 512 B mode: all 32 segments.
+        let c = small(64 << 10, 512);
+        assert_eq!(c.segment_enable_mask(123), u32::MAX);
+    }
+
+    #[test]
+    fn clear_invalidates() {
+        let mut c = small(64 << 10, 64);
+        c.insert(9);
+        c.clear();
+        assert!(!c.contains(9));
+        assert_eq!(c.stats().lookups, 0);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut c = small(64 << 10, 64);
+        c.insert(1);
+        c.lookup(1);
+        c.lookup(2);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_evicts_by_insertion_order_despite_hits() {
+        let cfg = PropertyCacheConfig {
+            capacity_bytes: 16 * 512,
+            policy: ReplacementPolicy::Fifo,
+            ..PropertyCacheConfig::paper()
+        };
+        let mut c = PropertyCache::new(cfg, 512);
+        for i in 0..16 {
+            c.insert(i * 32);
+        }
+        // Touch the oldest line; FIFO must still evict it first.
+        assert!(c.lookup(0));
+        c.insert(16 * 32);
+        assert!(!c.contains(0), "FIFO ignores recency");
+        assert!(c.contains(32));
+    }
+
+    #[test]
+    fn random_policy_stays_within_capacity() {
+        let cfg = PropertyCacheConfig {
+            capacity_bytes: 16 * 512,
+            policy: ReplacementPolicy::Random,
+            ..PropertyCacheConfig::paper()
+        };
+        let mut c = PropertyCache::new(cfg, 512);
+        for i in 0..200u32 {
+            c.insert(i * 32);
+        }
+        let s = c.stats();
+        assert!(s.insertions - s.evictions <= c.entries() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds S_max")]
+    fn oversized_property_rejected() {
+        small(64 << 10, 1024);
+    }
+}

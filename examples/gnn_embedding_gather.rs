@@ -1,0 +1,73 @@
+//! GNN-style embedding gather: multi-iteration SpMM with sampling.
+//!
+//! Graph-neural-network training (the workload motivating the paper's
+//! introduction) runs one SpMM per layer per minibatch, and with
+//! neighbourhood sampling the sparse matrix *changes every iteration*
+//! (paper §2.1). That is exactly the regime where NetSparse shines:
+//! sparsity-aware software schemes that pre-filter redundant transfers
+//! need preprocessing that must be redone on every new sample, while the
+//! Idx Filter and Property Cache adapt at runtime for free.
+//!
+//! This example runs five sampled iterations of a K=64 embedding gather
+//! over a uk-like power-law graph, resetting nothing between iterations
+//! except what real hardware would reset (the control plane invalidates
+//! the filter and cache when the input property array changes).
+//!
+//! ```text
+//! cargo run --release -p netsparse-examples --example gnn_embedding_gather
+//! ```
+
+use netsparse::baselines::{Baselines, CommComparison};
+use netsparse::prelude::*;
+
+fn main() {
+    let k = 64; // embedding width
+    let topo = Topology::LeafSpine {
+        racks: 4,
+        rack_size: 8,
+        spines: 4,
+    };
+    let cfg = ClusterConfig::mini(topo, k);
+    let baselines = Baselines::for_line_rate(cfg.link.bandwidth_bps / 1e9);
+
+    println!("GNN embedding gather: 5 sampled iterations, K={k} (256 B embeddings)");
+    println!(
+        "{:<6} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "iter", "PRs", "filtered%", "comm (us)", "vs SUOpt", "vs SAOpt"
+    );
+
+    let mut total_netsparse = 0.0;
+    let mut total_su = 0.0;
+    for iter in 0..5u64 {
+        // Each iteration samples a fresh subgraph: a new seed produces a
+        // new nonzero pattern over the same vertex set.
+        let wl = SuiteConfig {
+            matrix: SuiteMatrix::Uk,
+            nodes: 32,
+            rack_size: 8,
+            scale: 0.2,
+            seed: 1000 + iter,
+        }
+        .generate();
+        let report = simulate(&cfg, &wl);
+        assert!(report.functional_check_passed);
+        let cmp = CommComparison::new(&baselines, &wl, &report);
+        total_netsparse += cmp.netsparse_time;
+        total_su += cmp.su_time;
+        println!(
+            "{:<6} {:>10} {:>9.0}% {:>12.1} {:>11.1}x {:>9.1}x",
+            iter,
+            report.total_issued(),
+            report.tail().fc_rate() * 100.0,
+            report.comm_time_s() * 1e6,
+            cmp.netsparse_over_su(),
+            cmp.netsparse_over_sa()
+        );
+    }
+    println!(
+        "whole run: NetSparse {:.1} us vs SUOpt {:.1} us ({:.1}x) — with zero\nper-iteration preprocessing despite the changing sparsity pattern",
+        total_netsparse * 1e6,
+        total_su * 1e6,
+        total_su / total_netsparse
+    );
+}

@@ -1,0 +1,17 @@
+//! Example binaries for the NetSparse reproduction.
+//!
+//! Run any of them with `cargo run --release -p netsparse-examples
+//! --example <name>`:
+//!
+//! - `quickstart` — simulate one sparse kernel's communication on a small
+//!   cluster and read the report,
+//! - `gnn_embedding_gather` — a GNN-style workload: multi-iteration SpMM
+//!   with a re-sampled matrix each iteration,
+//! - `pagerank_spmv` — functional PageRank over a synthetic web graph,
+//!   validating the distributed gather against the single-node kernel,
+//! - `topology_comparison` — the same workload over Leaf-Spine, HyperX
+//!   and Dragonfly,
+//! - `mechanism_tour` — switch the four NetSparse mechanisms on one by
+//!   one and watch traffic, goodput and runtime respond,
+//! - `fault_tolerance` — inject packet loss and watch the §7.1 RIG
+//!   watchdog restore exactly-once delivery.

@@ -1,0 +1,67 @@
+//! Quickstart: simulate one distributed sparse kernel's communication.
+//!
+//! Builds a 32-node leaf-spine cluster, generates an arabic-like (web
+//! crawl) communication workload, runs the NetSparse simulation at K=16,
+//! and prints the headline numbers next to the SUOpt/SAOpt baselines.
+//!
+//! ```text
+//! cargo run --release -p netsparse-examples --example quickstart
+//! ```
+
+use netsparse::baselines::{Baselines, CommComparison};
+use netsparse::prelude::*;
+
+fn main() {
+    // 1. A workload: node-local idx streams with arabic-2005's
+    //    communication signature, scaled to laptop size.
+    let wl = SuiteConfig {
+        matrix: SuiteMatrix::Arabic,
+        nodes: 32,
+        rack_size: 8,
+        scale: 0.25,
+        seed: 42,
+    }
+    .generate();
+    let stats = wl.pattern_stats();
+    println!(
+        "workload: {} nodes, {} nonzeros, {:.1}% remote refs, reuse {:.1}x",
+        wl.nodes(),
+        wl.total_nnz(),
+        stats.remote_fraction() * 100.0,
+        stats.reuse()
+    );
+
+    // 2. A cluster: 4 racks of 8 under the scaled `mini` profile.
+    let topo = Topology::LeafSpine {
+        racks: 4,
+        rack_size: 8,
+        spines: 4,
+    };
+    let cfg = ClusterConfig::mini(topo, /*K=*/ 16);
+
+    // 3. Simulate the communication phase.
+    let report = simulate(&cfg, &wl);
+    assert!(report.functional_check_passed, "every node got its data");
+    println!(
+        "netsparse: comm {:.1} us | {} events | F+C {:.0}% | {:.1} PRs/pkt | cache hits {:.0}%",
+        report.comm_time_s() * 1e6,
+        report.events,
+        report.tail().fc_rate() * 100.0,
+        report.prs_per_packet.mean(),
+        report.cache_hit_rate() * 100.0
+    );
+    println!(
+        "tail node: goodput {:.0}% of line rate, utilization {:.0}%",
+        report.tail_goodput() * 100.0,
+        report.tail_line_utilization() * 100.0
+    );
+
+    // 4. Compare with the software baselines on the same wire.
+    let baselines = Baselines::for_line_rate(cfg.link.bandwidth_bps / 1e9);
+    let cmp = CommComparison::new(&baselines, &wl, &report);
+    println!(
+        "speedup over SUOpt: {:.1}x | over SAOpt: {:.1}x",
+        cmp.netsparse_over_su(),
+        cmp.netsparse_over_sa()
+    );
+}

@@ -1,0 +1,132 @@
+//! Consistency of the analytic baselines with each other and with the
+//! simulated system: orderings the paper reports must emerge here too.
+
+use netsparse::baselines::{gmean, Baselines, CommComparison};
+use netsparse::experiments::Experiment;
+use netsparse::prelude::*;
+
+fn exp(m: SuiteMatrix) -> Experiment {
+    Experiment::with_cluster(m, 32, 8, 0.08, 33)
+}
+
+fn cfg(k: u32) -> ClusterConfig {
+    ClusterConfig::mini(
+        Topology::LeafSpine {
+            racks: 4,
+            rack_size: 8,
+            spines: 4,
+        },
+        k,
+    )
+}
+
+#[test]
+fn netsparse_beats_both_baselines_on_the_gmean() {
+    let mut over_su = Vec::new();
+    let mut over_sa = Vec::new();
+    for m in SuiteMatrix::ALL {
+        let e = exp(m);
+        let (cmp, _) = e.compare(&cfg(16));
+        over_su.push(cmp.netsparse_over_su());
+        over_sa.push(cmp.netsparse_over_sa());
+    }
+    assert!(gmean(&over_su) > 3.0, "vs SUOpt: {over_su:?}");
+    assert!(gmean(&over_sa) > 3.0, "vs SAOpt: {over_sa:?}");
+}
+
+#[test]
+fn speedups_grow_with_property_size() {
+    // Paper: SUOpt is favored by small properties, so NetSparse's and
+    // SAOpt's speedups over SUOpt increase with K.
+    let e = exp(SuiteMatrix::Arabic);
+    let mut ns = Vec::new();
+    for k in [1u32, 16, 128] {
+        let (cmp, _) = e.compare(&cfg(k));
+        ns.push(cmp.netsparse_over_su());
+    }
+    assert!(ns[0] < ns[1] && ns[1] < ns[2], "{ns:?}");
+}
+
+#[test]
+fn saopt_loses_to_suopt_on_stokes() {
+    // Paper Figure 12: SAOpt performs worse than SUOpt for stokes (its
+    // SU redundancy is lowest, so the dense schedule is nearly free).
+    let e = exp(SuiteMatrix::Stokes);
+    let (cmp, _) = e.compare(&cfg(1));
+    assert!(
+        cmp.sa_over_su() < 1.0,
+        "stokes K=1 SAOpt/SUOpt = {}",
+        cmp.sa_over_su()
+    );
+}
+
+#[test]
+fn su_baseline_time_matches_closed_form() {
+    let e = exp(SuiteMatrix::Queen);
+    let b = Baselines::for_line_rate(100.0);
+    let stats = e.wl.pattern_stats();
+    let max_recv = stats.per_node.iter().map(|n| n.su_received).max().unwrap();
+    let expect = max_recv as f64 * 64.0 * 8.0 / 100e9;
+    let got = b.su.kernel_comm_time(&e.wl, 16);
+    assert!((got - expect).abs() < 1e-12);
+}
+
+#[test]
+fn saopt_pr_counts_bound_by_refs_and_unique() {
+    let e = exp(SuiteMatrix::Uk);
+    let b = Baselines::for_line_rate(100.0);
+    let stats = e.wl.pattern_stats();
+    for p in 0..e.wl.nodes() {
+        let prs = b.sa.node_pr_count(&e.wl, p);
+        let node = &stats.per_node[p as usize];
+        assert!(prs >= node.unique_remote, "node {p}");
+        assert!(prs <= node.remote_refs, "node {p}");
+    }
+}
+
+#[test]
+fn comparison_struct_is_self_consistent() {
+    let e = exp(SuiteMatrix::Europe);
+    let (cmp, report) = e.compare(&cfg(16));
+    assert_eq!(cmp.k, 16);
+    assert!((cmp.netsparse_time - report.comm_time_s()).abs() < 1e-15);
+    let derived = cmp.netsparse_over_su() / cmp.netsparse_over_sa();
+    assert!((derived - cmp.sa_over_su()).abs() / cmp.sa_over_su() < 1e-9);
+}
+
+#[test]
+fn end_to_end_ideal_dominates_everything() {
+    for m in [SuiteMatrix::Arabic, SuiteMatrix::Europe] {
+        let e = exp(m);
+        let r = e.end_to_end(&cfg(16), ComputeEngine::Spade);
+        assert!(r.speedup_ideal >= r.speedup_netsparse);
+        assert!(r.speedup_ideal >= r.speedup_sa);
+        assert!(r.speedup_ideal >= r.speedup_su);
+        assert!(r.speedup_netsparse >= r.speedup_su, "{m}: hw comm must win");
+    }
+}
+
+#[test]
+fn compute_engines_order_end_to_end_sensibly() {
+    // Faster compute exposes communication more: the NetSparse advantage
+    // over SAOpt grows from DDR to HBM (paper §9.6).
+    let e = exp(SuiteMatrix::Arabic);
+    let c = cfg(128);
+    let report = e.run(&c);
+    let ddr = e.end_to_end_from(&c, ComputeEngine::CpuDdr, &report);
+    let hbm = e.end_to_end_from(&c, ComputeEngine::CpuHbm, &report);
+    let adv_ddr = ddr.speedup_netsparse / ddr.speedup_sa;
+    let adv_hbm = hbm.speedup_netsparse / hbm.speedup_sa;
+    assert!(
+        adv_hbm >= adv_ddr * 0.95,
+        "DDR adv {adv_ddr}, HBM adv {adv_hbm}"
+    );
+}
+
+#[test]
+fn vanilla_sa_is_orders_of_magnitude_below_line_rate() {
+    let model = netsparse_accel::VanillaSaModel::paper();
+    for dests in [1.0, 2.5, 7.4] {
+        assert!(model.line_utilization(32, dests) < 0.01);
+    }
+}

@@ -1,0 +1,196 @@
+//! End-to-end cluster simulations across matrices, property sizes,
+//! topologies and mechanism sets: the whole stack must deliver every
+//! needed property exactly once and behave deterministically.
+
+use netsparse::prelude::*;
+
+fn cluster_32() -> Topology {
+    Topology::LeafSpine {
+        racks: 4,
+        rack_size: 8,
+        spines: 4,
+    }
+}
+
+fn workload(m: SuiteMatrix, seed: u64) -> CommWorkload {
+    SuiteConfig {
+        matrix: m,
+        nodes: 32,
+        rack_size: 8,
+        scale: 0.05,
+        seed,
+    }
+    .generate()
+}
+
+#[test]
+fn all_matrices_functionally_correct_at_k16() {
+    for m in SuiteMatrix::ALL {
+        let wl = workload(m, 1);
+        let cfg = ClusterConfig::mini(cluster_32(), 16);
+        let report = simulate(&cfg, &wl);
+        assert!(
+            report.functional_check_passed,
+            "{m}: some node missed or duplicated a property"
+        );
+        assert!(report.comm_time_s() > 0.0, "{m}: zero communication time");
+        // Conservation: every issued PR got exactly one response.
+        let issued: u64 = report.nodes.iter().map(|n| n.issued).sum();
+        let responses: u64 = report.nodes.iter().map(|n| n.responses).sum();
+        assert_eq!(issued, responses, "{m}: PR/response conservation violated");
+    }
+}
+
+#[test]
+fn all_property_sizes_work() {
+    let wl = workload(SuiteMatrix::Stokes, 2);
+    for k in [1u32, 4, 16, 64, 128] {
+        let cfg = ClusterConfig::mini(cluster_32(), k);
+        let report = simulate(&cfg, &wl);
+        assert!(report.functional_check_passed, "K={k}");
+        assert_eq!(report.k, k);
+    }
+}
+
+#[test]
+fn all_topologies_deliver_everything() {
+    // 128-node topologies need a 128-node workload.
+    let wl = SuiteConfig {
+        matrix: SuiteMatrix::Uk,
+        nodes: 128,
+        rack_size: 16,
+        scale: 0.02,
+        seed: 3,
+    }
+    .generate();
+    for topo in [
+        Topology::leaf_spine_128(),
+        Topology::hyperx_128(),
+        Topology::dragonfly_128(),
+    ] {
+        let cfg = ClusterConfig::mini(topo, 16);
+        let report = simulate(&cfg, &wl);
+        assert!(report.functional_check_passed, "{topo:?}");
+    }
+}
+
+#[test]
+fn every_mechanism_combination_is_functionally_correct() {
+    let wl = workload(SuiteMatrix::Arabic, 4);
+    for bits in 0u32..32 {
+        let mechanisms = Mechanisms {
+            filter: bits & 1 != 0,
+            coalesce: bits & 2 != 0,
+            nic_concat: bits & 4 != 0,
+            switch_concat: bits & 8 != 0,
+            property_cache: bits & 16 != 0,
+        };
+        let mut cfg = ClusterConfig::mini(cluster_32(), 16);
+        cfg.mechanisms = mechanisms;
+        let report = simulate(&cfg, &wl);
+        assert!(
+            report.functional_check_passed,
+            "combination {mechanisms:?} broke delivery"
+        );
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_across_runs() {
+    let wl = workload(SuiteMatrix::Queen, 5);
+    let cfg = ClusterConfig::mini(cluster_32(), 16);
+    let a = simulate(&cfg, &wl);
+    let b = simulate(&cfg, &wl);
+    assert_eq!(a.comm_time, b.comm_time);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.total_link_bytes, b.total_link_bytes);
+    assert_eq!(a.cache_hits, b.cache_hits);
+    for (x, y) in a.nodes.iter().zip(&b.nodes) {
+        assert_eq!(x.finish, y.finish);
+        assert_eq!(x.issued, y.issued);
+    }
+}
+
+#[test]
+fn paper_profile_also_runs() {
+    // The Table 5 (400 Gbps) profile must work too, not just `mini`.
+    let wl = workload(SuiteMatrix::Europe, 6);
+    let mut cfg = ClusterConfig::paper(cluster_32(), 16);
+    cfg.batch_size = 2048; // paper batches exceed this tiny stream
+    let report = simulate(&cfg, &wl);
+    assert!(report.functional_check_passed);
+}
+
+#[test]
+fn zero_remote_workload_finishes_instantly() {
+    // A workload with only local references communicates nothing.
+    let part = netsparse_sparse::Partition1D::even(32 * 8, 32);
+    let streams: Vec<Vec<u32>> = (0..32)
+        .map(|p| {
+            let r = part.range(p);
+            (0..50).map(|i| r.start + (i % (r.end - r.start))).collect()
+        })
+        .collect();
+    let wl = CommWorkload::from_streams(part, vec![8; 32], streams);
+    let cfg = ClusterConfig::mini(cluster_32(), 16);
+    let report = simulate(&cfg, &wl);
+    assert!(report.functional_check_passed);
+    assert_eq!(report.total_issued(), 0);
+    assert_eq!(report.total_link_bytes, 0);
+}
+
+#[test]
+fn tail_node_determines_comm_time() {
+    let wl = workload(SuiteMatrix::Uk, 7);
+    let cfg = ClusterConfig::mini(cluster_32(), 16);
+    let report = simulate(&cfg, &wl);
+    let max_finish = report.nodes.iter().map(|n| n.finish).max().unwrap();
+    assert_eq!(report.comm_time, max_finish);
+    assert_eq!(report.nodes[report.tail_node()].finish, max_finish);
+}
+
+#[test]
+fn active_nodes_curve_is_monotone_decreasing() {
+    let wl = workload(SuiteMatrix::Arabic, 8);
+    let cfg = ClusterConfig::mini(cluster_32(), 16);
+    let report = simulate(&cfg, &wl);
+    let curve = report.active_nodes_curve(16);
+    for w in curve.windows(2) {
+        assert!(w[0] >= w[1], "active nodes increased over time: {curve:?}");
+    }
+    assert!(curve[0] > 0);
+}
+
+#[test]
+fn pr_latency_percentiles_are_sane() {
+    let wl = workload(SuiteMatrix::Arabic, 10);
+    let cfg = ClusterConfig::mini(cluster_32(), 16);
+    let report = simulate(&cfg, &wl);
+    let p50 = report.pr_latency_quantile(0.5).expect("PRs completed");
+    let p99 = report.pr_latency_quantile(0.99).expect("PRs completed");
+    assert!(p50 <= p99);
+    // A round trip can never beat the zero-load path: two links each way
+    // plus one switch traversal (intra-rack minimum).
+    let min_rtt = netsparse_desim::SimTime::from_ns(2 * (2 * 45 + 30));
+    assert!(p50 >= min_rtt, "p50 {p50} below zero-load RTT {min_rtt}");
+    // And it stays below the whole kernel duration.
+    assert!(p99 <= report.comm_time);
+}
+
+#[test]
+fn hot_links_and_backlog_are_reported() {
+    let wl = workload(SuiteMatrix::Stokes, 11);
+    let cfg = ClusterConfig::mini(cluster_32(), 16);
+    let report = simulate(&cfg, &wl);
+    assert!(!report.hot_links.is_empty());
+    // Ranked most-loaded first.
+    for w in report.hot_links.windows(2) {
+        assert!(w[0].bytes >= w[1].bytes);
+    }
+    let top = &report.hot_links[0];
+    assert!(top.utilization > 0.0 && top.utilization <= 1.0);
+    assert!(top.from.starts_with("nic") || top.from.starts_with("switch"));
+    // Lossless assumption audit: worst backlog far under the 96 MB
+    // switch packet buffer.
+    assert!(report.max_link_backlog_bytes < 96 << 20);
+}

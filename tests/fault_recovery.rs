@@ -1,0 +1,143 @@
+//! §7 extensions under test: packet-loss recovery via the RIG watchdog
+//! (§7.1) and virtualized Concatenation Queues (§7.2).
+
+use netsparse::config::{ConcatImpl, FaultConfig};
+use netsparse::prelude::*;
+use netsparse_snic::vconcat::{dedicated_sram_bytes, VirtualCqConfig};
+
+fn topo() -> Topology {
+    Topology::LeafSpine {
+        racks: 4,
+        rack_size: 8,
+        spines: 4,
+    }
+}
+
+fn workload(seed: u64) -> CommWorkload {
+    SuiteConfig {
+        matrix: SuiteMatrix::Uk,
+        nodes: 32,
+        rack_size: 8,
+        scale: 0.05,
+        seed,
+    }
+    .generate()
+}
+
+fn lossy_cfg(loss: f64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::mini(topo(), 16);
+    // Generous watchdog: far above a command's worst-case latency, so it
+    // only fires for genuinely lost packets.
+    cfg.faults = FaultConfig::lossy(loss, 100_000, 7);
+    cfg
+}
+
+#[test]
+fn watchdog_without_loss_never_fires() {
+    let wl = workload(1);
+    let lossless = simulate(&lossy_cfg(0.0), &wl);
+    assert!(lossless.functional_check_passed);
+    assert_eq!(lossless.dropped_packets, 0);
+    let retries: u64 = lossless.nodes.iter().map(|n| n.watchdog_retries).sum();
+    assert_eq!(retries, 0, "spurious watchdog restarts");
+    // And it matches a run without any fault config at all.
+    let plain = simulate(&ClusterConfig::mini(topo(), 16), &wl);
+    assert_eq!(plain.comm_time, lossless.comm_time);
+}
+
+#[test]
+fn kernel_survives_one_percent_packet_loss() {
+    let wl = workload(2);
+    let report = simulate(&lossy_cfg(0.01), &wl);
+    assert!(report.dropped_packets > 0, "loss must actually occur");
+    assert!(
+        report.functional_check_passed,
+        "recovery must re-fetch every lost property"
+    );
+    let retries: u64 = report.nodes.iter().map(|n| n.watchdog_retries).sum();
+    assert!(retries > 0, "drops must trigger watchdog restarts");
+}
+
+#[test]
+fn kernel_survives_heavy_packet_loss() {
+    let wl = workload(3);
+    let report = simulate(&lossy_cfg(0.05), &wl);
+    assert!(report.functional_check_passed);
+}
+
+#[test]
+fn recovery_costs_time() {
+    let wl = workload(4);
+    let clean = simulate(&lossy_cfg(0.0), &wl);
+    let lossy = simulate(&lossy_cfg(0.02), &wl);
+    assert!(
+        lossy.comm_time > clean.comm_time,
+        "retries cannot be free: {} vs {}",
+        lossy.comm_time,
+        clean.comm_time
+    );
+}
+
+#[test]
+#[should_panic(expected = "watchdog")]
+fn loss_without_watchdog_is_rejected() {
+    let mut cfg = ClusterConfig::mini(topo(), 16);
+    cfg.faults.loss_rate = 0.01; // bypasses the FaultConfig constructor
+    simulate(&cfg, &workload(5));
+}
+
+#[test]
+fn virtual_cqs_preserve_functionality() {
+    let wl = workload(6);
+    let mut cfg = ClusterConfig::mini(topo(), 16);
+    cfg.concat_impl = ConcatImpl::Virtual(VirtualCqConfig {
+        physical_queues: 64,
+        physical_bytes: 128,
+    });
+    let report = simulate(&cfg, &wl);
+    assert!(report.functional_check_passed);
+    assert!(report.prs_per_packet.mean() > 1.0, "still concatenates");
+}
+
+#[test]
+fn virtual_cqs_track_dedicated_performance_with_a_fraction_of_sram() {
+    let wl = workload(7);
+    let dedicated = simulate(&ClusterConfig::mini(topo(), 16), &wl);
+    let mut cfg = ClusterConfig::mini(topo(), 16);
+    let pool = VirtualCqConfig {
+        physical_queues: 128,
+        physical_bytes: 256,
+    };
+    cfg.concat_impl = ConcatImpl::Virtual(pool);
+    let virt = simulate(&cfg, &wl);
+    assert!(virt.functional_check_passed);
+    // §7.2's claim: similar behaviour, cluster-size-independent SRAM.
+    assert!(
+        virt.comm_time_s() < dedicated.comm_time_s() * 1.5,
+        "virtual {} vs dedicated {}",
+        virt.comm_time_s(),
+        dedicated.comm_time_s()
+    );
+    assert!(pool.sram_bytes() * 2 < dedicated_sram_bytes(32, 1_500));
+}
+
+#[test]
+fn tiny_virtual_pool_still_correct_under_pressure() {
+    let wl = workload(8);
+    let mut cfg = ClusterConfig::mini(topo(), 16);
+    cfg.concat_impl = ConcatImpl::Virtual(VirtualCqConfig {
+        physical_queues: 4,
+        physical_bytes: 128,
+    });
+    let report = simulate(&cfg, &wl);
+    assert!(report.functional_check_passed);
+}
+
+#[test]
+fn faults_and_virtual_cqs_compose() {
+    let wl = workload(9);
+    let mut cfg = lossy_cfg(0.01);
+    cfg.concat_impl = ConcatImpl::Virtual(VirtualCqConfig::paper_sketch());
+    let report = simulate(&cfg, &wl);
+    assert!(report.functional_check_passed);
+}

@@ -1,0 +1,1 @@
+//! Integration tests crate; see the test files.

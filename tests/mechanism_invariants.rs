@@ -1,0 +1,209 @@
+//! Cross-mechanism invariants: how the four NetSparse mechanisms are
+//! allowed to change traffic, PR counts and timing relative to each other.
+
+use netsparse::prelude::*;
+
+fn workload() -> CommWorkload {
+    SuiteConfig {
+        matrix: SuiteMatrix::Arabic,
+        nodes: 32,
+        rack_size: 8,
+        scale: 0.08,
+        seed: 21,
+    }
+    .generate()
+}
+
+fn cfg_with(mechanisms: Mechanisms, k: u32) -> ClusterConfig {
+    let mut cfg = ClusterConfig::mini(
+        Topology::LeafSpine {
+            racks: 4,
+            rack_size: 8,
+            spines: 4,
+        },
+        k,
+    );
+    cfg.mechanisms = mechanisms;
+    cfg
+}
+
+#[test]
+fn filtering_never_increases_issued_prs() {
+    let wl = workload();
+    let off = simulate(&cfg_with(Mechanisms::rig_only(), 16), &wl);
+    let on = simulate(
+        &cfg_with(
+            Mechanisms {
+                filter: true,
+                ..Mechanisms::rig_only()
+            },
+            16,
+        ),
+        &wl,
+    );
+    assert!(on.total_issued() <= off.total_issued());
+    // Without any redundancy elimination, issued == remote references.
+    let remote: u64 = wl.pattern_stats().total_remote_refs();
+    assert_eq!(off.total_issued(), remote);
+}
+
+#[test]
+fn filter_plus_coalesce_approaches_unique_lower_bound() {
+    let wl = workload();
+    let full = simulate(&cfg_with(Mechanisms::all(), 16), &wl);
+    let unique = wl.pattern_stats().total_unique_remote();
+    let issued = full.total_issued();
+    // Can never go below one PR per unique (node, idx) need...
+    assert!(issued >= unique);
+    // ...and with both mechanisms the overshoot (cross-unit duplicates
+    // racing in flight) stays bounded. It is larger at tiny scales, where
+    // the whole stream fits inside the units' concurrent window.
+    assert!(
+        (issued as f64) < unique as f64 * 4.0,
+        "issued {issued} vs unique {unique}"
+    );
+    // The eliminated volume still dwarfs what survives.
+    let remote = wl.pattern_stats().total_remote_refs();
+    assert!(
+        issued * 4 < remote,
+        "issued {issued} of {remote} remote refs"
+    );
+}
+
+#[test]
+fn concatenation_reduces_wire_bytes_not_prs() {
+    let wl = workload();
+    let base = Mechanisms {
+        filter: true,
+        coalesce: true,
+        ..Mechanisms::rig_only()
+    };
+    let no_concat = simulate(&cfg_with(base, 16), &wl);
+    let with_concat = simulate(
+        &cfg_with(
+            Mechanisms {
+                nic_concat: true,
+                ..base
+            },
+            16,
+        ),
+        &wl,
+    );
+    // Same logical work, fewer header bytes on the wire.
+    assert!(with_concat.total_link_bytes < no_concat.total_link_bytes);
+    assert!(with_concat.prs_per_packet.mean() > no_concat.prs_per_packet.mean());
+    assert_eq!(no_concat.prs_per_packet.mean(), 1.0);
+}
+
+#[test]
+fn concatenation_benefit_shrinks_with_k() {
+    // Headers amortize over payloads: at K=128 the relative saving from
+    // concatenation must be smaller than at K=1.
+    let wl = workload();
+    let base = Mechanisms {
+        filter: true,
+        coalesce: true,
+        ..Mechanisms::rig_only()
+    };
+    let mut ratio = Vec::new();
+    for k in [1u32, 128] {
+        let off = simulate(&cfg_with(base, k), &wl);
+        let on = simulate(
+            &cfg_with(
+                Mechanisms {
+                    nic_concat: true,
+                    switch_concat: true,
+                    ..base
+                },
+                k,
+            ),
+            &wl,
+        );
+        ratio.push(off.total_link_bytes as f64 / on.total_link_bytes as f64);
+    }
+    assert!(
+        ratio[0] > ratio[1],
+        "K=1 byte saving {:.2} should exceed K=128 saving {:.2}",
+        ratio[0],
+        ratio[1]
+    );
+}
+
+#[test]
+fn property_cache_cuts_interswitch_traffic() {
+    let wl = workload();
+    let no_cache = simulate(
+        &cfg_with(
+            Mechanisms {
+                property_cache: false,
+                ..Mechanisms::all()
+            },
+            16,
+        ),
+        &wl,
+    );
+    let with_cache = simulate(&cfg_with(Mechanisms::all(), 16), &wl);
+    assert!(with_cache.cache_hits > 0, "arabic shares enough to hit");
+    // Hits short-circuit at the ToR: total bytes over all links drop.
+    assert!(with_cache.total_link_bytes <= no_cache.total_link_bytes);
+}
+
+#[test]
+fn cache_size_zero_equals_cache_disabled() {
+    let wl = workload();
+    let disabled = simulate(
+        &cfg_with(
+            Mechanisms {
+                property_cache: false,
+                ..Mechanisms::all()
+            },
+            16,
+        ),
+        &wl,
+    );
+    let mut cfg = cfg_with(Mechanisms::all(), 16);
+    cfg.switch.cache.capacity_bytes = 0;
+    let zero = simulate(&cfg, &wl);
+    assert_eq!(zero.cache_hits, 0);
+    assert_eq!(zero.total_issued(), disabled.total_issued());
+}
+
+#[test]
+fn fc_rate_is_zero_without_mechanisms_and_high_with() {
+    let wl = workload();
+    let off = simulate(&cfg_with(Mechanisms::rig_only(), 16), &wl);
+    for n in &off.nodes {
+        assert_eq!(n.fc_rate(), 0.0);
+    }
+    let on = simulate(&cfg_with(Mechanisms::all(), 16), &wl);
+    // Arabic's ~25x reuse means the tail node's F+C rate is large.
+    assert!(on.tail().fc_rate() > 0.7, "{}", on.tail().fc_rate());
+}
+
+#[test]
+fn more_rig_units_never_hurt_much() {
+    let wl = workload();
+    let mut t = Vec::new();
+    for units in [2u32, 8, 32] {
+        let mut cfg = cfg_with(Mechanisms::all(), 16);
+        cfg.snic.rig_units = units;
+        t.push(simulate(&cfg, &wl).comm_time_s());
+    }
+    // 32 units at least as fast as 2 (modulo small concat timing noise).
+    assert!(t[2] <= t[0] * 1.1, "2 units {} vs 32 units {}", t[0], t[2]);
+}
+
+#[test]
+fn pending_table_size_bounds_outstanding() {
+    let wl = workload();
+    let mut cfg = cfg_with(Mechanisms::all(), 16);
+    cfg.snic.pending_entries = 4; // tiny: forces stalls
+    let tiny = simulate(&cfg, &wl);
+    assert!(tiny.functional_check_passed);
+    let stalls: u64 = tiny.nodes.iter().map(|n| n.stalls).sum();
+    assert!(stalls > 0, "4-entry tables must stall");
+    let mut cfg = cfg_with(Mechanisms::all(), 16);
+    cfg.snic.pending_entries = 1 << 20;
+    let huge = simulate(&cfg, &wl);
+    assert!(huge.comm_time_s() <= tiny.comm_time_s());
+}

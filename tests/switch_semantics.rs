@@ -1,0 +1,165 @@
+//! Surgical scenarios pinning the switch datapath semantics: in-switch
+//! cache hits serving rack-mates, read-to-response conversion, and
+//! concatenation grouping — with hand-built workloads whose expected
+//! behaviour can be reasoned out exactly.
+
+use netsparse::prelude::*;
+use netsparse_sparse::Partition1D;
+
+/// 2 racks x 4 nodes; 8 columns per node.
+fn topo() -> Topology {
+    Topology::LeafSpine {
+        racks: 2,
+        rack_size: 4,
+        spines: 2,
+    }
+}
+
+fn cfg(k: u32) -> ClusterConfig {
+    ClusterConfig::mini(topo(), k)
+}
+
+fn wl(streams: Vec<Vec<u32>>) -> CommWorkload {
+    let part = Partition1D::even(64, 8);
+    CommWorkload::from_streams(part, vec![8; 8], streams)
+}
+
+#[test]
+fn rack_mates_hit_the_property_cache() {
+    // Node 0 requests idx 40 (owned by node 5, other rack) immediately;
+    // nodes 1-3 request the same idx after long local prefixes, giving
+    // node 0's response time to populate the ToR cache. A single client
+    // RIG unit serializes each node's scan so the prefix actually delays
+    // the request.
+    let local_prefix: Vec<u32> = (0..12_000).map(|i| i % 8).collect();
+    let mut late = local_prefix.clone();
+    late.push(40);
+    let streams = vec![
+        vec![40],
+        late.clone(),
+        late.clone(),
+        late,
+        vec![],
+        vec![],
+        vec![],
+        vec![],
+    ];
+    let mut serial = cfg(16);
+    serial.snic.rig_units = 2; // one client + one server
+    let report = simulate(&serial, &wl(streams.clone()));
+    assert!(report.functional_check_passed);
+    // The three late requesters must all hit.
+    assert_eq!(report.cache_hits, 3, "hits: {}", report.cache_hits);
+    // Cache hits short-circuit at the ToR: the home node serves fewer
+    // reads, so its uplink carries fewer response bytes.
+    let mut no_cache = serial.clone();
+    no_cache.mechanisms.property_cache = false;
+    let cold = simulate(&no_cache, &wl(streams));
+    assert!(
+        report.nodes[5].tx_wire_bytes < cold.nodes[5].tx_wire_bytes,
+        "home uplink: cached {} vs cold {}",
+        report.nodes[5].tx_wire_bytes,
+        cold.nodes[5].tx_wire_bytes
+    );
+}
+
+#[test]
+fn intra_rack_properties_are_never_cached() {
+    // Node 0 and node 1 both need idx 16 (owned by node 2 — same rack).
+    let streams = vec![
+        vec![16],
+        vec![0, 1, 2, 16],
+        vec![],
+        vec![],
+        vec![],
+        vec![],
+        vec![],
+        vec![],
+    ];
+    let report = simulate(&cfg(16), &wl(streams));
+    assert!(report.functional_check_passed);
+    assert_eq!(report.cache_hits, 0);
+    assert_eq!(report.cache_lookups, 0, "intra-rack PRs skip the cache");
+}
+
+#[test]
+fn burst_to_one_destination_concatenates_into_one_packet() {
+    // Node 0 requests 10 distinct idxs of node 5 back to back: the NIC
+    // concatenator should pack them into a single read packet.
+    let streams = vec![
+        (40..50).collect::<Vec<u32>>(),
+        vec![],
+        vec![],
+        vec![],
+        vec![],
+        vec![],
+        vec![],
+        vec![],
+    ];
+    let report = simulate(&cfg(16), &wl(streams));
+    assert!(report.functional_check_passed);
+    assert!(
+        report.prs_per_packet.max() >= Some(10),
+        "max PRs/packet {:?}",
+        report.prs_per_packet.max()
+    );
+}
+
+#[test]
+fn concat_delay_bounds_a_lone_pr() {
+    // A single remote PR has nobody to concatenate with: it waits out the
+    // full NIC delay budget, so shrinking the budget shrinks the kernel.
+    let streams = vec![
+        vec![40],
+        vec![],
+        vec![],
+        vec![],
+        vec![],
+        vec![],
+        vec![],
+        vec![],
+    ];
+    let slow = simulate(&cfg(16), &wl(streams.clone()));
+    let mut fast_cfg = cfg(16);
+    fast_cfg.snic.concat_delay_cycles = 0;
+    fast_cfg.switch.concat_delay_cycles = 0;
+    let fast = simulate(&fast_cfg, &wl(streams));
+    let delta = slow.comm_time.saturating_sub(fast.comm_time);
+    // The lone PR crosses two NIC concatenators (read at the requester,
+    // response at the home) and two switch stages each way.
+    let one_budget = cfg(16).nic_concat_delay();
+    assert!(
+        delta >= one_budget,
+        "delay budget not observable: delta {delta}, budget {one_budget}"
+    );
+}
+
+#[test]
+fn cross_node_concatenation_happens_at_the_switch() {
+    // Nodes 0-3 each send one read to node 5 at the same instant. NIC
+    // concatenators cannot merge them (different sources), but the ToR
+    // can: some packet on the wire carries more than one PR.
+    let streams = vec![
+        vec![40],
+        vec![41],
+        vec![42],
+        vec![43],
+        vec![],
+        vec![],
+        vec![],
+        vec![],
+    ];
+    let report = simulate(&cfg(16), &wl(streams.clone()));
+    assert!(report.functional_check_passed);
+    assert!(
+        report.prs_per_packet.max() >= Some(2),
+        "switch should merge same-destination PRs from different nodes"
+    );
+    // With switch concatenation off they stay separate...
+    let mut no_switch = cfg(16);
+    no_switch.mechanisms.switch_concat = false;
+    no_switch.mechanisms.property_cache = false;
+    let separate = simulate(&no_switch, &wl(streams));
+    // ...and more wire bytes are spent on headers.
+    assert!(separate.total_link_bytes >= report.total_link_bytes);
+}
