@@ -19,8 +19,6 @@
 //! they reproduce.
 
 use netsparse_sparse::CommWorkload;
-#[cfg(test)]
-use netsparse_sparse::Partition1D;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 

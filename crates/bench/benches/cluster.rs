@@ -2,7 +2,8 @@
 //! simulator itself runs on each benchmark matrix, and how the mechanism
 //! set changes simulation cost (the ablation harness's own overhead).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsparse_bench::microbench::{black_box, BenchmarkId, Criterion};
+use netsparse_bench::{criterion_group, criterion_main};
 
 use netsparse::prelude::*;
 

@@ -3,7 +3,8 @@
 //! Pending PR Table, Concatenator, Property Cache) plus workload
 //! generation and the reference kernels.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use netsparse_bench::microbench::{black_box, Criterion, Throughput};
+use netsparse_bench::{criterion_group, criterion_main};
 
 use netsparse_desim::{EventQueue, SimTime, SplitMix64};
 use netsparse_snic::{ConcatConfig, Concatenator, HeaderSpec, IdxFilter, PendingTable, Pr, PrKind};
@@ -106,7 +107,7 @@ fn bench_concatenator(c: &mut Criterion) {
             let mut rng = SplitMix64::new(5);
             let mut emitted = 0u64;
             for i in 0..100_000u32 {
-                let t = SimTime::from_ps(i as u64 * 455);
+                let t = SimTime::from_ps(u64::from(i) * 455);
                 let dest = rng.next_range(127) as u32;
                 let pr = Pr {
                     src_node: 0,

@@ -1,10 +1,10 @@
 //! Regenerates every table and figure of the paper's evaluation in one
 //! run. Output is organized per experiment; pipe through `tee` to save.
-use std::time::Instant;
+use std::time::Instant; // simaudit:allow(no-wall-clock): CLI progress timing
 
 fn main() {
     let o = netsparse_bench::BenchOpts::from_args();
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // simaudit:allow(no-wall-clock)
     type Section<'a> = (&'a str, Box<dyn Fn() -> String>);
     let sections: Vec<Section> = vec![
         (
@@ -93,7 +93,7 @@ fn main() {
         ),
     ];
     for (name, f) in sections {
-        let t = Instant::now();
+        let t = Instant::now(); // simaudit:allow(no-wall-clock)
         let body = f();
         println!("==================== {name} ====================");
         println!("{body}");

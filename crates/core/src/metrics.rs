@@ -88,6 +88,10 @@ pub struct SimReport {
     /// The five busiest links, most-loaded first — where the bottleneck
     /// lives.
     pub hot_links: Vec<HotLink>,
+    /// Event-stream digest from the engine's auditor: two same-seed runs
+    /// must report identical digests. `None` in release builds without the
+    /// `audit` feature (auditing compiled out).
+    pub audit_digest: Option<u64>,
 }
 
 /// One heavily loaded link in the run.
@@ -260,6 +264,7 @@ mod tests {
             pr_latency: Reservoir::new(16, 0),
             max_link_backlog_bytes: 0,
             hot_links: Vec::new(),
+            audit_digest: None,
         }
     }
 

@@ -25,7 +25,7 @@
 //! only for packets, concatenation expiries and command boundaries — so
 //! event count is proportional to packets, not cycles.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use netsparse_desim::{Engine, Histogram, Reservoir, Scheduler, SimTime, SplitMix64};
 use netsparse_netsim::{Element, Link, LinkId, Network, SwitchId};
@@ -86,6 +86,16 @@ impl ConcatPoint {
         match self {
             ConcatPoint::Dedicated(c) => c.prs_per_packet(),
             ConcatPoint::Virtual(c) => c.prs_per_packet(),
+        }
+    }
+
+    /// PRs still waiting in concatenation queues (must be zero once the
+    /// run drains; checked by the runtime auditor).
+    #[cfg(any(debug_assertions, feature = "audit"))]
+    fn queued_prs(&self) -> usize {
+        match self {
+            ConcatPoint::Dedicated(c) => c.queued_prs(),
+            ConcatPoint::Virtual(c) => c.queued_prs(),
         }
     }
 }
@@ -171,11 +181,11 @@ struct NodeState {
     last_dup: u64,
     last_resp: u64,
     finish: Option<SimTime>,
-    needed: HashSet<u32>,
-    received: HashSet<u32>,
+    needed: BTreeSet<u32>,
+    received: BTreeSet<u32>,
     /// Issue timestamp of each outstanding PR, keyed by (unit, idx) —
     /// the PR round-trip-latency probe.
-    issue_times: HashMap<(u16, u32), SimTime>,
+    issue_times: BTreeMap<(u16, u32), SimTime>,
     responses: u64,
     dup_responses: u64,
     rx_payload: u64,
@@ -210,6 +220,10 @@ struct World<'a> {
     loss_rng: SplitMix64,
     dropped_packets: u64,
     pr_latency: Reservoir,
+    /// Runtime invariant auditor (PR conservation ledger); compiled only
+    /// in debug builds or under the `audit` feature.
+    #[cfg(any(debug_assertions, feature = "audit"))]
+    audit: netsparse_desim::Auditor,
 }
 
 impl<'a> World<'a> {
@@ -275,7 +289,7 @@ impl<'a> World<'a> {
         // floored by the PCIe fetch bandwidth for the property payload.
         let per_unit = cycle.as_ps() as f64 / cfg.snic.server_units() as f64;
         let fetch_ps = payload as f64 * 8.0 / (cfg.snic.pcie_gbps * 8e9) * 1e12;
-        let server_svc = SimTime::from_ps(per_unit.max(fetch_ps).round() as u64);
+        let server_svc = SimTime::from_ps_f64(per_unit.max(fetch_ps));
 
         let nic_concat_cfg = ConcatConfig {
             headers: cfg.headers,
@@ -293,7 +307,7 @@ impl<'a> World<'a> {
         let nodes = (0..n_nodes)
             .map(|p| {
                 let stream = wl.stream(p);
-                let mut needed = HashSet::new();
+                let mut needed = BTreeSet::new();
                 for &idx in stream {
                     if wl.owner(idx) != p {
                         needed.insert(idx);
@@ -329,8 +343,8 @@ impl<'a> World<'a> {
                         None
                     },
                     needed,
-                    received: HashSet::new(),
-                    issue_times: HashMap::new(),
+                    received: BTreeSet::new(),
+                    issue_times: BTreeMap::new(),
                     responses: 0,
                     dup_responses: 0,
                     rx_payload: 0,
@@ -384,6 +398,8 @@ impl<'a> World<'a> {
             loss_rng: SplitMix64::new(cfg.faults.seed ^ 0x10DD_F00D),
             dropped_packets: 0,
             pr_latency: Reservoir::new(4_096, 0x01A7_E0C1),
+            #[cfg(any(debug_assertions, feature = "audit"))]
+            audit: netsparse_desim::Auditor::new(),
         }
     }
 
@@ -414,8 +430,10 @@ impl<'a> World<'a> {
         pkt: ConcatPacket,
         sched: &mut Scheduler<'_, Event>,
     ) {
+        // Routing tables are total by construction (World::new fills every
+        // (switch, dest)), so this lookup can only fail on a wiring bug.
         let (link, to) = self.from_switch[sw as usize][pkt.dest as usize]
-            .expect("deterministic route must exist for every destination");
+            .expect("deterministic route must exist"); // simaudit:allow(no-unwrap-in-hot-path)
         let bytes = pkt.wire_bytes;
         let arrive = self.links[link.0 as usize].transmit(at.max(sched.now()), bytes);
         match to {
@@ -514,8 +532,7 @@ impl<'a> World<'a> {
         }
         // Chain: keep issuing while units are free and commands remain.
         let below_limit = !self.cfg.adaptive_batch
-            || self.nodes[node as usize].active_cmds
-                < self.nodes[node as usize].concurrency_limit;
+            || self.nodes[node as usize].active_cmds < self.nodes[node as usize].concurrency_limit;
         let st = &self.nodes[node as usize];
         if st.stream_pos < stream_len
             && below_limit
@@ -575,6 +592,8 @@ impl<'a> World<'a> {
                         processed += 1;
                         unit.pos += 1;
                         let t_pr = now + cycle * cycles;
+                        #[cfg(any(debug_assertions, feature = "audit"))]
+                        self.audit.issue("pr");
                         issue_times.insert((unit_id, idx), t_pr);
                         let dest = partition.owner(idx);
                         for pkt in concat.push(t_pr, dest, PrKind::Read, pr, 0) {
@@ -741,6 +760,8 @@ impl<'a> World<'a> {
                 if let Some(t_issue) = issue_times.remove(&(pr.src_tid, pr.idx)) {
                     self.pr_latency.record(now.saturating_sub(t_issue).as_ps());
                 }
+                #[cfg(any(debug_assertions, feature = "audit"))]
+                self.audit.resolve("pr");
                 let unit = &mut units[pr.src_tid as usize];
                 unit.rig.complete(pr.idx, filter);
                 if unit.cmd.is_some() {
@@ -901,16 +922,18 @@ impl<'a> World<'a> {
             ..
         } = st;
         let unit = &mut units[unit_id as usize];
-        if unit.generation != generation || unit.cmd.is_none() {
+        if unit.generation != generation {
             return; // the command completed; stand down
         }
+        let Some((start, _)) = unit.cmd else {
+            return; // spurious wakeup after completion
+        };
         unit.retries += 1;
         for idx in unit.received_this_cmd.drain(..) {
             filter.remove(idx);
             received.remove(&idx);
         }
         unit.rig.reset_pending();
-        let (start, _) = unit.cmd.expect("checked above");
         unit.pos = start;
         unit.generation += 1;
         let generation = unit.generation;
@@ -935,7 +958,50 @@ impl<'a> World<'a> {
         );
     }
 
-    fn into_report(self, events: u64) -> SimReport {
+    /// Final invariant sweep, run before the report is assembled: cache
+    /// accounting per switch, concatenators drained, link utilization
+    /// physical, and (loss-free, retry-free runs only) PR conservation.
+    #[cfg(any(debug_assertions, feature = "audit"))]
+    fn audit_end_of_run(&self, comm_end: SimTime) {
+        for s in &self.switches {
+            s.pipes.check_invariants();
+        }
+        for n in &self.nodes {
+            self.audit.check(
+                n.concat.queued_prs() == 0,
+                "NIC concatenators drained at end of run",
+            );
+            self.audit.check(
+                n.finish.is_none() || n.units.iter().all(|u| u.rig.outstanding() == 0),
+                "no PR outstanding on a finished node",
+            );
+        }
+        for s in &self.switches {
+            self.audit.check(
+                s.concat.queued_prs() == 0,
+                "switch concatenators drained at end of run",
+            );
+        }
+        if comm_end > SimTime::ZERO {
+            for l in &self.links {
+                self.audit.check(
+                    l.utilization(comm_end) <= 1.0 + 1e-9,
+                    "link utilization within line rate",
+                );
+            }
+        }
+        let retries: u64 = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.units.iter())
+            .map(|u| u.retries)
+            .sum();
+        if self.cfg.faults.loss_rate == 0.0 && retries == 0 && self.audit.ledger("pr").is_some() {
+            self.audit.check_balanced("pr");
+        }
+    }
+
+    fn into_report(self, events: u64, audit_digest: Option<u64>) -> SimReport {
         let k = self.cfg.k;
         let mut prs_per_packet = Histogram::new();
         for n in &self.nodes {
@@ -956,6 +1022,8 @@ impl<'a> World<'a> {
             .filter_map(|n| n.finish)
             .max()
             .unwrap_or(SimTime::ZERO);
+        #[cfg(any(debug_assertions, feature = "audit"))]
+        self.audit_end_of_run(comm_end);
         let describe = |e: Element| match e {
             Element::Nic(n) => format!("nic {n}"),
             Element::Switch(s) => format!("switch {}", s.0),
@@ -1043,6 +1111,7 @@ impl<'a> World<'a> {
             pr_latency: self.pr_latency,
             max_link_backlog_bytes: max_backlog,
             hot_links,
+            audit_digest,
         }
     }
 }
@@ -1072,7 +1141,8 @@ pub fn simulate(cfg: &ClusterConfig, wl: &CommWorkload) -> SimReport {
     // The run drains naturally: every queued PR has an armed expiry and
     // every outstanding PR a response in flight.
     engine.run(|now, ev, sched| world.handle(now, ev, sched));
-    world.into_report(engine.processed())
+    let digest = engine.audit_digest();
+    world.into_report(engine.processed(), digest)
 }
 
 #[cfg(test)]

@@ -165,6 +165,8 @@ pub struct Engine<E> {
     processed: u64,
     max_events: Option<u64>,
     horizon: SimTime,
+    #[cfg(any(debug_assertions, feature = "audit"))]
+    auditor: crate::audit::Auditor,
 }
 
 impl<E> Default for Engine<E> {
@@ -182,6 +184,8 @@ impl<E> Engine<E> {
             processed: 0,
             max_events: None,
             horizon: SimTime::MAX,
+            #[cfg(any(debug_assertions, feature = "audit"))]
+            auditor: crate::audit::Auditor::new(),
         }
     }
 
@@ -225,6 +229,34 @@ impl<E> Engine<E> {
         self.queue.len()
     }
 
+    /// The event-stream digest accumulated by the runtime auditor, or
+    /// `None` when auditing is compiled out (release builds without the
+    /// `audit` feature). Two same-seed runs must return equal digests.
+    pub fn audit_digest(&self) -> Option<u64> {
+        #[cfg(any(debug_assertions, feature = "audit"))]
+        {
+            Some(self.auditor.digest())
+        }
+        #[cfg(not(any(debug_assertions, feature = "audit")))]
+        {
+            None
+        }
+    }
+
+    /// Runs `f` against the engine's [`Auditor`](crate::audit::Auditor)
+    /// when auditing is compiled in; a guaranteed no-op otherwise. Use this
+    /// to fold model-level outputs into the run digest without sprinkling
+    /// `cfg` at every call site.
+    #[inline]
+    pub fn with_audit(&mut self, f: impl FnOnce(&mut crate::audit::Auditor)) {
+        #[cfg(any(debug_assertions, feature = "audit"))]
+        f(&mut self.auditor);
+        #[cfg(not(any(debug_assertions, feature = "audit")))]
+        {
+            let _ = f;
+        }
+    }
+
     /// Runs until the queue drains (or a limit is hit), delivering each
     /// event to `handler` along with the current time and a [`Scheduler`].
     ///
@@ -241,6 +273,8 @@ impl<E> Engine<E> {
             debug_assert!(time >= self.now, "event queue violated time order");
             self.now = time;
             self.processed += 1;
+            #[cfg(any(debug_assertions, feature = "audit"))]
+            self.auditor.record_event(time);
             let mut sched = Scheduler {
                 queue: &mut self.queue,
                 now: time,
@@ -263,6 +297,8 @@ impl<E> Engine<E> {
         if let Some((time, event)) = self.queue.pop() {
             self.now = time;
             self.processed += 1;
+            #[cfg(any(debug_assertions, feature = "audit"))]
+            self.auditor.record_event(time);
             let mut sched = Scheduler {
                 queue: &mut self.queue,
                 now: time,

@@ -36,11 +36,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod engine;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use audit::Auditor;
 pub use engine::{Engine, EventQueue, Scheduler};
 pub use rng::SplitMix64;
 pub use stats::{Counter, Histogram, RateMeter, Reservoir, TimeSeries};

@@ -1,9 +1,12 @@
-//! A tiny deterministic PRNG for simulation-internal decisions.
+//! A tiny deterministic PRNG — the *only* source of randomness in the
+//! simulation stack.
 //!
-//! Workload *generation* uses the full `rand` crate (in `netsparse-sparse`);
-//! this SplitMix64 exists so that low-level simulation components (hash
-//! seeds, tie-breaking, sampled statistics) can stay dependency-free and
-//! bit-reproducible.
+//! Every random decision in the workspace, from workload generation in
+//! `netsparse-sparse` down to fault injection and sampled statistics, draws
+//! from this SplitMix64 so that simulations are bit-reproducible functions
+//! of their seeds across machines and Rust versions. Foreign RNGs (`rand`,
+//! `thread_rng`, hashing-based tie-breaks) are banned by `cargo xtask lint`
+//! rule `no-foreign-rng`; see `docs/STATIC_ANALYSIS.md`.
 
 /// SplitMix64: a fast, high-quality 64-bit PRNG with a single `u64` of
 /// state. It is the generator Java's `SplittableRandom` and many simulators
@@ -53,11 +56,70 @@ impl SplitMix64 {
         ((self.next_u64() as u128 * bound as u128) >> 64) as u64
     }
 
+    /// Returns a uniform `u32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo < hi, "range_u32: empty range {lo}..{hi}");
+        lo + self.next_range((hi - lo) as u64) as u32
+    }
+
+    /// Returns a uniform `u32` in `[lo, hi]` (inclusive upper bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[inline]
+    pub fn range_u32_inclusive(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo <= hi, "range_u32_inclusive: empty range {lo}..={hi}");
+        lo + self.next_range((hi - lo) as u64 + 1) as u32
+    }
+
+    /// Returns a uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "range_u64: empty range {lo}..{hi}");
+        lo + self.next_range(hi - lo)
+    }
+
+    /// Returns a uniform random `bool`.
+    #[inline]
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
     /// Returns a uniform `f64` in `[0, 1)`.
     #[inline]
     pub fn next_f64(&mut self) -> f64 {
         // 53 random mantissa bits.
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `f64` in `(0, 1]` — safe to feed to `ln()`.
+    #[inline]
+    pub fn next_f64_open(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not finite or `lo >= hi`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "range_f64: invalid range {lo}..{hi}"
+        );
+        lo + self.next_f64() * (hi - lo)
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).

@@ -339,6 +339,8 @@ impl TimeSeries {
         let mut idx = 0usize;
         let mut current = self.points[0].1;
         for i in 0..n {
+            // Pure integer division in u128 — no float rounding involved,
+            // the cast only narrows. simaudit:allow(no-raw-time-math)
             let t = SimTime::from_ps(((end.as_ps() as u128 * i as u128) / n.max(1) as u128) as u64);
             while idx < self.points.len() && self.points[idx].0 <= t {
                 current = self.points[idx].1;

@@ -75,6 +75,42 @@ impl SimTime {
         SimTime(ps.round() as u64)
     }
 
+    /// Creates a timestamp from fractional picoseconds, rounding to the
+    /// nearest whole picosecond.
+    ///
+    /// This is the one sanctioned float→time conversion for model code:
+    /// `cargo xtask lint` (rule `no-raw-time-math`) bans ad-hoc
+    /// `... as u64` casts into `SimTime` outside this module so rounding
+    /// behaviour stays uniform across the stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ps` is negative, NaN, or too large for the `u64` range.
+    #[inline]
+    pub fn from_ps_f64(ps: f64) -> Self {
+        assert!(
+            ps >= 0.0 && ps.is_finite(),
+            "SimTime::from_ps_f64: invalid picosecond value {ps}"
+        );
+        assert!(ps <= u64::MAX as f64, "SimTime::from_ps_f64: overflow");
+        SimTime(ps.round() as u64)
+    }
+
+    /// The serialization delay of `bytes` over a link of `bandwidth_bps`
+    /// bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is not strictly positive and finite.
+    #[inline]
+    pub fn serialization(bytes: u64, bandwidth_bps: f64) -> Self {
+        assert!(
+            bandwidth_bps > 0.0 && bandwidth_bps.is_finite(),
+            "SimTime::serialization: invalid bandwidth {bandwidth_bps}"
+        );
+        SimTime::from_secs_f64(bytes as f64 * 8.0 / bandwidth_bps)
+    }
+
     /// Raw picoseconds.
     #[inline]
     pub const fn as_ps(self) -> u64 {

@@ -37,7 +37,7 @@ impl LinkParams {
 
     /// Time to serialize `bytes` onto the wire.
     pub fn serialization(&self, bytes: u64) -> SimTime {
-        SimTime::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps)
+        SimTime::serialization(bytes, self.bandwidth_bps)
     }
 }
 

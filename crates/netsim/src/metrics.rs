@@ -45,7 +45,7 @@ impl TopologyMetrics {
         // midpoint cut: count switch-switch links used by cross-half
         // routes (deduplicated).
         let half = n / 2;
-        let mut cut_links = std::collections::HashSet::new();
+        let mut cut_links = std::collections::BTreeSet::new();
         for src in 0..half {
             for dst in half..n {
                 for hop in &net.path(src, dst).hops {

@@ -16,7 +16,7 @@
 //! Property Cache's read/response paths match); every `(src, dst)` pair has
 //! exactly one path, precomputed at construction.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -190,7 +190,7 @@ pub struct Network {
     topo: Topology,
     nodes: u32,
     n_links: u32,
-    link_index: HashMap<(Element, Element), LinkId>,
+    link_index: BTreeMap<(Element, Element), LinkId>,
     link_ends: Vec<(Element, Element)>,
     paths: Vec<Path>, // row-major [src * nodes + dst]
 }
@@ -208,7 +208,7 @@ impl Network {
             topo,
             nodes,
             n_links: 0,
-            link_index: HashMap::new(),
+            link_index: BTreeMap::new(),
             link_ends: Vec::new(),
             paths: Vec::new(),
         };

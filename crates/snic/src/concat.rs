@@ -19,7 +19,7 @@
 //! early (the paper's "EQ index" metadata).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use netsparse_desim::{Histogram, SimTime};
 
@@ -80,33 +80,8 @@ struct EqEntry {
     expires: SimTime,
     seq: u64,
     dest: u32,
-    kind: PrKindOrd,
+    kind: PrKind,
     generation: u64,
-}
-
-/// `PrKind` with a total order, for heap entries only.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum PrKindOrd {
-    Read,
-    Response,
-}
-
-impl From<PrKind> for PrKindOrd {
-    fn from(k: PrKind) -> Self {
-        match k {
-            PrKind::Read => PrKindOrd::Read,
-            PrKind::Response => PrKindOrd::Response,
-        }
-    }
-}
-
-impl From<PrKindOrd> for PrKind {
-    fn from(k: PrKindOrd) -> Self {
-        match k {
-            PrKindOrd::Read => PrKind::Read,
-            PrKindOrd::Response => PrKind::Response,
-        }
-    }
 }
 
 /// A concatenation point: CQs plus the expiration queue.
@@ -138,7 +113,7 @@ impl From<PrKindOrd> for PrKind {
 #[derive(Debug)]
 pub struct Concatenator {
     cfg: ConcatConfig,
-    queues: HashMap<(u32, PrKind), Cq>,
+    queues: BTreeMap<(u32, PrKind), Cq>,
     eq: BinaryHeap<Reverse<EqEntry>>,
     eq_seq: u64,
     prs_per_packet: Histogram,
@@ -150,7 +125,7 @@ impl Concatenator {
     pub fn new(cfg: ConcatConfig) -> Self {
         Concatenator {
             cfg,
-            queues: HashMap::new(),
+            queues: BTreeMap::new(),
             eq: BinaryHeap::new(),
             eq_seq: 0,
             prs_per_packet: Histogram::new(),
@@ -218,7 +193,7 @@ impl Concatenator {
                 expires: now + self.cfg.delay,
                 seq,
                 dest,
-                kind: kind.into(),
+                kind,
                 generation: cq.generation,
             }));
         }
@@ -234,7 +209,7 @@ impl Concatenator {
         while let Some(Reverse(head)) = self.eq.peek() {
             let live = self
                 .queues
-                .get(&(head.dest, head.kind.into()))
+                .get(&(head.dest, head.kind))
                 .is_some_and(|cq| cq.generation == head.generation && !cq.prs.is_empty());
             if live {
                 return Some(head.expires);
@@ -252,12 +227,12 @@ impl Concatenator {
                 break;
             }
             self.eq.pop();
-            if let Some(cq) = self.queues.get_mut(&(head.dest, head.kind.into())) {
+            if let Some(cq) = self.queues.get_mut(&(head.dest, head.kind)) {
                 if cq.generation == head.generation && !cq.prs.is_empty() {
                     let prs = std::mem::take(&mut cq.prs);
                     let payload = cq.payload_per_pr;
                     cq.generation += 1;
-                    out.push(self.emit(head.dest, head.kind.into(), prs, payload));
+                    out.push(self.emit(head.dest, head.kind, prs, payload));
                 }
             }
         }
@@ -275,7 +250,9 @@ impl Concatenator {
             .collect();
         let mut out = Vec::new();
         for (dest, kind) in keys {
-            let cq = self.queues.get_mut(&(dest, kind)).expect("key just listed");
+            let Some(cq) = self.queues.get_mut(&(dest, kind)) else {
+                continue;
+            };
             let prs = std::mem::take(&mut cq.prs);
             let payload = cq.payload_per_pr;
             cq.generation += 1;

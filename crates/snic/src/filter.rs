@@ -7,7 +7,7 @@
 //! makes every later PR for the idx redundant.
 //!
 //! The simulation keeps the same semantics with two backings: a dense bit
-//! vector for modest column counts, and a hash set when the simulated
+//! vector for modest column counts, and an ordered set when the simulated
 //! column space is large but sparsely touched (equivalent behaviour, much
 //! less host RAM across 128 simulated nodes).
 
@@ -33,7 +33,7 @@ pub struct IdxFilter {
 #[derive(Debug, Clone)]
 enum Backing {
     Dense(Vec<u64>),
-    Sparse(std::collections::HashSet<u32>),
+    Sparse(std::collections::BTreeSet<u32>),
 }
 
 /// Column counts up to this use the dense bit-vector backing (512 KiB).
@@ -45,7 +45,7 @@ impl IdxFilter {
         let backing = if n_cols <= DENSE_LIMIT {
             Backing::Dense(vec![0u64; (n_cols as usize).div_ceil(64)])
         } else {
-            Backing::Sparse(std::collections::HashSet::new())
+            Backing::Sparse(std::collections::BTreeSet::new())
         };
         IdxFilter {
             n_cols,

@@ -29,7 +29,7 @@
 #[derive(Debug, Clone)]
 pub struct PendingTable {
     capacity: usize,
-    entries: std::collections::HashSet<u32>,
+    entries: std::collections::BTreeSet<u32>,
     peak: usize,
 }
 
@@ -43,7 +43,7 @@ impl PendingTable {
         assert!(capacity > 0, "pending table needs at least one entry");
         PendingTable {
             capacity,
-            entries: std::collections::HashSet::with_capacity(capacity),
+            entries: std::collections::BTreeSet::new(),
             peak: 0,
         }
     }

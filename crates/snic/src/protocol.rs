@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 
 /// Whether a PR is a read request or a read response (the paper's two PR
 /// types; concatenation queues are segregated by this).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum PrKind {
     /// A request for a remote property.
     Read,

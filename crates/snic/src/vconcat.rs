@@ -14,7 +14,7 @@
 //! virtual CQ needs a new physical CQ, and the pool is empty, the oldest
 //! virtual CQ is flushed early to free space.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use netsparse_desim::{Histogram, SimTime};
 
@@ -89,7 +89,7 @@ pub struct VirtualConcatenator {
     cfg: ConcatConfig,
     pool: VirtualCqConfig,
     free_physical: usize,
-    queues: HashMap<(u32, PrKind), VirtualCq>,
+    queues: BTreeMap<(u32, PrKind), VirtualCq>,
     touch: u64,
     prs_per_packet: Histogram,
     packets: u64,
@@ -112,7 +112,7 @@ impl VirtualConcatenator {
             cfg,
             pool,
             free_physical: pool.physical_queues,
-            queues: HashMap::new(),
+            queues: BTreeMap::new(),
             touch: 0,
             prs_per_packet: Histogram::new(),
             packets: 0,
@@ -220,8 +220,9 @@ impl VirtualConcatenator {
             }
             if self.free_physical > 0 {
                 self.free_physical -= 1;
-                let q = self.queues.get_mut(&(dest, kind)).expect("just inserted");
-                q.physical += 1;
+                if let Some(q) = self.queues.get_mut(&(dest, kind)) {
+                    q.physical += 1;
+                }
                 continue;
             }
             // Pool exhausted: evict the least recently touched other CQ.

@@ -7,8 +7,7 @@
 //! signatures directly; the generators here are the reusable library pieces
 //! (used by examples, kernel tests and anyone adopting the crate).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use netsparse_desim::SplitMix64;
 
 use crate::coo::CooMatrix;
 
@@ -25,14 +24,14 @@ use crate::coo::CooMatrix;
 /// Panics if `n == 0`.
 pub fn banded(n: u32, nnz_per_row: u32, halfwidth: u32, seed: u64) -> CooMatrix {
     assert!(n > 0, "matrix must be non-empty");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut m = CooMatrix::with_capacity(n, n, (n * nnz_per_row) as usize);
     for i in 0..n {
         let lo = i.saturating_sub(halfwidth);
         let hi = (i + halfwidth).min(n - 1);
         for _ in 0..nnz_per_row {
-            let j = rng.gen_range(lo..=hi);
-            m.push(i, j, rng.gen_range(-1.0..1.0));
+            let j = rng.range_u32_inclusive(lo, hi);
+            m.push(i, j, rng.range_f64(-1.0, 1.0) as f32);
         }
     }
     m.sum_duplicates();
@@ -52,7 +51,7 @@ pub fn banded(n: u32, nnz_per_row: u32, halfwidth: u32, seed: u64) -> CooMatrix 
 pub fn road_network(side: u32, shortcut_prob: f64, seed: u64) -> CooMatrix {
     assert!(side > 0, "grid must be non-empty");
     let n = side * side;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut m = CooMatrix::with_capacity(n, n, (n as usize) * 3);
     let at = |x: u32, y: u32| y * side + x;
     for y in 0..side {
@@ -64,8 +63,8 @@ pub fn road_network(side: u32, shortcut_prob: f64, seed: u64) -> CooMatrix {
             if y + 1 < side {
                 m.push(v, at(x, y + 1), 1.0);
             }
-            if rng.gen_bool(shortcut_prob) {
-                let w = rng.gen_range(0..n);
+            if rng.chance(shortcut_prob) {
+                let w = rng.range_u32(0, n);
                 if w != v {
                     m.push(v, w, 1.0);
                 }
@@ -128,7 +127,7 @@ pub fn power_law(params: PowerLawParams, seed: u64) -> CooMatrix {
         (0.0..1.0).contains(&alpha),
         "zipf exponent must be in [0, 1) for inverse-CDF sampling"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut m = CooMatrix::with_capacity(n, n, (n * nnz_per_row) as usize);
     let inv_exp = 1.0 / (1.0 - alpha);
     // Popularity rank -> column id permutation (cheap multiplicative hash)
@@ -137,17 +136,17 @@ pub fn power_law(params: PowerLawParams, seed: u64) -> CooMatrix {
         |rank: u32| -> u32 { ((rank as u64).wrapping_mul(2_654_435_761) % n as u64) as u32 };
     for i in 0..n {
         for _ in 0..nnz_per_row {
-            let j = if rng.gen_bool(locality) {
+            let j = if rng.chance(locality) {
                 let lo = i.saturating_sub(local_window);
                 let hi = (i + local_window).min(n - 1);
-                rng.gen_range(lo..=hi)
+                rng.range_u32_inclusive(lo, hi)
             } else {
                 // Inverse-CDF Zipf sample over ranks [0, n).
-                let u: f64 = rng.gen_range(0.0f64..1.0);
+                let u: f64 = rng.next_f64();
                 let rank = ((n as f64) * u.powf(inv_exp)).min(n as f64 - 1.0) as u32;
                 scatter(rank)
             };
-            m.push(i, j, rng.gen_range(-1.0..1.0));
+            m.push(i, j, rng.range_f64(-1.0, 1.0) as f32);
         }
     }
     m.sum_duplicates();
@@ -162,13 +161,13 @@ pub fn power_law(params: PowerLawParams, seed: u64) -> CooMatrix {
 /// Panics if `nrows == 0` or `ncols == 0`.
 pub fn uniform(nrows: u32, ncols: u32, nnz: usize, seed: u64) -> CooMatrix {
     assert!(nrows > 0 && ncols > 0, "matrix must be non-empty");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut m = CooMatrix::with_capacity(nrows, ncols, nnz);
     for _ in 0..nnz {
         m.push(
-            rng.gen_range(0..nrows),
-            rng.gen_range(0..ncols),
-            rng.gen_range(-1.0..1.0),
+            rng.range_u32(0, nrows),
+            rng.range_u32(0, ncols),
+            rng.range_f64(-1.0, 1.0) as f32,
         );
     }
     m.sum_duplicates();

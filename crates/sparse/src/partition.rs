@@ -206,7 +206,7 @@ mod tests {
     fn balanced_partition_equalizes_weight() {
         // Heavy head: first 10 elements carry weight 100 each, rest weight 1.
         let mut w = vec![100u64; 10];
-        w.extend(std::iter::repeat(1u64).take(90));
+        w.extend(std::iter::repeat_n(1u64, 90));
         let p = Partition1D::balanced(&w, 4);
         assert_eq!(p.parts(), 4);
         let weight_of = |part: u32| -> u64 { p.range(part).map(|i| w[i as usize]).sum() };

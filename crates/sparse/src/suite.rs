@@ -31,8 +31,7 @@
 //!    node-private hash, with `share_p` controlling how much of a rack's
 //!    demand overlaps (→ Property Cache hit potential).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use netsparse_desim::SplitMix64;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
@@ -359,19 +358,21 @@ fn slot_hash(key: u64, dest: u32, slot: u64) -> u64 {
     splitmix(key ^ splitmix((dest as u64) << 32 ^ slot))
 }
 
-fn sample_dest(shape: DestShape, p: u32, nodes: u32, rng: &mut StdRng) -> u32 {
+fn sample_dest(shape: DestShape, p: u32, nodes: u32, rng: &mut SplitMix64) -> u32 {
     debug_assert!(nodes >= 2);
     for _ in 0..64 {
         let (dist, up): (u32, bool) = match shape {
-            DestShape::Neighbor { width } => (rng.gen_range(1..=width.max(1)), rng.gen()),
+            DestShape::Neighbor { width } => {
+                (rng.range_u32_inclusive(1, width.max(1)), rng.next_bool())
+            }
             DestShape::GeomDecay { rho } => {
-                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u: f64 = rng.next_f64_open();
                 let d = 1 + (u.ln() / rho.ln()).floor() as u32;
-                (d.min(nodes - 1), rng.gen())
+                (d.min(nodes - 1), rng.next_bool())
             }
             DestShape::PowerLaw { alpha } => {
                 // Inverse-CDF over d in [1, nodes): P(d) ∝ d^-alpha.
-                let u: f64 = rng.gen_range(0.0f64..1.0);
+                let u: f64 = rng.next_f64();
                 let one_m = 1.0 - alpha;
                 let nmax = (nodes - 1) as f64;
                 let d = if (one_m).abs() < 1e-9 {
@@ -379,17 +380,20 @@ fn sample_dest(shape: DestShape, p: u32, nodes: u32, rng: &mut StdRng) -> u32 {
                 } else {
                     (1.0 + u * (nmax.powf(one_m) - 1.0)).powf(1.0 / one_m)
                 };
-                ((d.floor() as u32).clamp(1, nodes - 1), rng.gen())
+                ((d.floor() as u32).clamp(1, nodes - 1), rng.next_bool())
             }
             DestShape::Strided {
                 stride,
                 far_frac,
                 near_width,
             } => {
-                if rng.gen_bool(far_frac) {
-                    (stride.max(1), rng.gen())
+                if rng.chance(far_frac) {
+                    (stride.max(1), rng.next_bool())
                 } else {
-                    (rng.gen_range(1..=near_width.max(1)), rng.gen())
+                    (
+                        rng.range_u32_inclusive(1, near_width.max(1)),
+                        rng.next_bool(),
+                    )
                 }
             }
         };
@@ -435,18 +439,18 @@ pub fn generate(cfg: &SuiteConfig) -> CommWorkload {
     let nodes = cfg.nodes;
     let nnz_per_node = ((sig.base_nnz_per_node as f64 * cfg.scale) as usize).max(256);
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ splitmix(cfg.matrix as u64 + 1));
+    let mut rng = SplitMix64::new(cfg.seed ^ splitmix(cfg.matrix as u64 + 1));
 
     // Per-node skews: lognormal, normalized to mean 1. `skew` scales each
     // node's remote-reference rate; `nnz_skew` scales its nonzero count
     // (compute imbalance).
-    let lognormal = |rng: &mut StdRng, sigma: f64| -> Vec<f64> {
+    let lognormal = |rng: &mut SplitMix64, sigma: f64| -> Vec<f64> {
         let mean_correction = (sigma * sigma / 2.0).exp();
         (0..nodes)
             .map(|_| {
                 // Box-Muller.
-                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                let u2: f64 = rng.gen_range(0.0f64..1.0);
+                let u1: f64 = rng.next_f64_open();
+                let u2: f64 = rng.next_f64();
                 let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                 ((sigma * z).exp() / mean_correction).clamp(0.05, 8.0)
             })
@@ -499,14 +503,14 @@ pub fn generate(cfg: &SuiteConfig) -> CommWorkload {
         let jitter_w: u64 = if sig.reuse < 2.0 { 1 } else { 2 };
 
         for _ in 0..nnz_p {
-            if rng.gen_bool(rf) {
+            if rng.chance(rf) {
                 // Remote reference: maybe switch destination.
                 let dest = match current_dest {
-                    Some(d) if rng.gen_bool(stay_q) => d,
+                    Some(d) if rng.chance(stay_q) => d,
                     _ => {
-                        if sig.n_hubs > 0 && rng.gen_bool(sig.hub_frac) {
+                        if sig.n_hubs > 0 && rng.chance(sig.hub_frac) {
                             // Hub homes are fixed per matrix (seed-drawn).
-                            let h = rng.gen_range(0..sig.n_hubs) as u64;
+                            let h = rng.range_u32(0, sig.n_hubs) as u64;
                             let hub = (slot_hash(0x4B5, sig.n_hubs, h) % nodes as u64) as u32;
                             if hub != p {
                                 hub
@@ -528,10 +532,10 @@ pub fn generate(cfg: &SuiteConfig) -> CommWorkload {
                 // (temporally clustered -> coalescing territory) or
                 // revisits an older column (Idx Filter territory).
                 let in_burst = (t as f64 % sig.reuse) >= 1.0;
-                let slot = if in_burst && base > 0 && rng.gen_bool(sig.far_revisit) {
-                    rng.gen_range(0..base)
+                let slot = if in_burst && base > 0 && rng.chance(sig.far_revisit) {
+                    rng.range_u64(0, base)
                 } else {
-                    base + rng.gen_range(0..jitter_w)
+                    base + rng.range_u64(0, jitter_w)
                 };
                 // Shared-vs-private decision must be node-independent so a
                 // shared slot means the same column to everyone in the rack.
@@ -554,7 +558,7 @@ pub fn generate(cfg: &SuiteConfig) -> CommWorkload {
                 stream.push(col);
             } else {
                 // Local reference.
-                let col = rng.gen_range(own.start..own.end.max(own.start + 1));
+                let col = rng.range_u32(own.start, own.end.max(own.start + 1));
                 stream.push(col.min(n_cols - 1));
             }
         }

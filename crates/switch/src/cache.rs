@@ -86,6 +86,8 @@ pub struct CacheStats {
     pub lookups: u64,
     /// Lookups that hit.
     pub hits: u64,
+    /// Lookups that missed (`hits + misses == lookups` always).
+    pub misses: u64,
     /// Properties inserted.
     pub insertions: u64,
     /// Valid lines evicted to make room.
@@ -100,6 +102,44 @@ impl CacheStats {
         } else {
             self.hits as f64 / self.lookups as f64
         }
+    }
+
+    /// Merges another bank's counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+    }
+
+    /// Checks the internal accounting invariants against `entries`, the
+    /// capacity of the cache these stats came from; called by the runtime
+    /// auditor at end of run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hits + misses != lookups` or occupancy
+    /// (`insertions - evictions`) is negative or above capacity.
+    pub fn check_invariants(&self, entries: u64) {
+        assert!(
+            self.hits + self.misses == self.lookups,
+            "audit: cache hits ({}) + misses ({}) != lookups ({})",
+            self.hits,
+            self.misses,
+            self.lookups
+        );
+        assert!(
+            self.evictions <= self.insertions,
+            "audit: cache evictions ({}) exceed insertions ({})",
+            self.evictions,
+            self.insertions
+        );
+        assert!(
+            self.insertions - self.evictions <= entries,
+            "audit: cache occupancy ({}) exceeds capacity ({entries})",
+            self.insertions - self.evictions
+        );
     }
 }
 
@@ -238,6 +278,7 @@ impl PropertyCache {
                 return true;
             }
         }
+        self.stats.misses += 1;
         false
     }
 

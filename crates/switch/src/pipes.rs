@@ -134,13 +134,26 @@ impl MiddlePipes {
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
         for b in &self.banks {
-            let s = b.stats();
-            total.lookups += s.lookups;
-            total.hits += s.hits;
-            total.insertions += s.insertions;
-            total.evictions += s.evictions;
+            total.merge(&b.stats());
         }
         total
+    }
+
+    /// Total line capacity across banks.
+    pub fn entries(&self) -> u64 {
+        self.banks.iter().map(|b| b.entries() as u64).sum()
+    }
+
+    /// Checks every bank's accounting invariants (see
+    /// [`CacheStats::check_invariants`]); called by the runtime auditor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violated invariant.
+    pub fn check_invariants(&self) {
+        for b in &self.banks {
+            b.stats().check_invariants(b.entries() as u64);
+        }
     }
 
     /// Invalidates all banks.

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# The repo's full verification gate; CI runs exactly this.
+#
+#   scripts/ci.sh          # everything
+#   scripts/ci.sh --fast   # skip the release build (debug tests only)
+#
+# Steps: formatting, the simaudit determinism lints (see
+# docs/STATIC_ANALYSIS.md), clippy with the workspace deny-set, the debug
+# test suite (runtime auditor active via debug_assertions), and the tier-1
+# release build + tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo xtask lint
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo test -q
+
+if [[ "$fast" -eq 0 ]]; then
+    run cargo build --release
+    run cargo test -q --release
+fi
+
+echo "ci: all checks passed"

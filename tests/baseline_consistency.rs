@@ -1,7 +1,7 @@
 //! Consistency of the analytic baselines with each other and with the
 //! simulated system: orderings the paper reports must emerge here too.
 
-use netsparse::baselines::{gmean, Baselines, CommComparison};
+use netsparse::baselines::{gmean, Baselines};
 use netsparse::experiments::Experiment;
 use netsparse::prelude::*;
 

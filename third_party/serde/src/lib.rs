@@ -1,0 +1,22 @@
+//! In-tree stand-in for the `serde` facade.
+//!
+//! The build environment for this repository is fully offline, so the real
+//! `serde` crate cannot be fetched. The workspace only uses serde for
+//! `#[derive(Serialize, Deserialize)]` annotations on config/report types —
+//! no code path actually serializes anything yet. This crate provides the
+//! two trait names and (behind the `derive` feature) no-op derive macros so
+//! those annotations keep compiling unchanged. If real serialization is
+//! ever needed, point the `serde` workspace dependency back at crates.io
+//! and delete `third_party/`.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait mirroring `serde::Serialize`. No methods: nothing in this
+/// workspace serializes yet, and the no-op derive emits no impl.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`. See [`Serialize`].
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives for the in-tree serde stand-in.
+//!
+//! Each derive accepts the input item (including `#[serde(...)]` helper
+//! attributes) and expands to nothing: the annotation compiles, no impl is
+//! generated, and nothing in the workspace requires one. See
+//! `third_party/serde/src/lib.rs` for the rationale.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,12 @@
+//! Fixture: `no-foreign-rng` must flag randomness outside desim::rng.
+
+use rand::{Rng, SeedableRng};
+
+pub fn bad(seed: u64) -> u32 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    rng.gen_range(0..10)
+}
+
+pub fn allowed(rng: &mut netsparse_desim::SplitMix64) -> u32 {
+    rng.range_u32(0, 10)
+}

@@ -1,0 +1,14 @@
+//! Fixture: `no-raw-time-math` must flag ad-hoc float-to-time conversions.
+
+use netsparse_desim::SimTime;
+
+pub fn bad_link(bytes: u64, bw: f64) -> SimTime { SimTime::from_secs_f64(bytes as f64 * 8.0 / bw) }
+
+pub fn bad_round(ps: f64) -> SimTime {
+    let scaled = ps * 2.0;
+    SimTime::from_ps(scaled.round() as u64)
+}
+
+pub fn allowed(ps: f64) -> SimTime {
+    SimTime::from_ps_f64(ps)
+}

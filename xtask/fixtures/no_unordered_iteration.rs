@@ -1,0 +1,11 @@
+//! Fixture: `no-unordered-iteration` must flag hash containers in event paths.
+
+use std::collections::HashMap;
+pub fn bad(m: &HashMap<u32, u32>) -> u32 {
+    m.values().sum()
+}
+
+// simaudit:allow(no-unordered-iteration): lookup-only map, never iterated
+pub fn allowed(m: &HashMap<u32, u32>) -> Option<&u32> {
+    m.get(&3)
+}

@@ -1,0 +1,17 @@
+//! Fixture: `no-unwrap-in-hot-path` must flag panicking accessors.
+
+pub fn bad(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn allowed(xs: &[u32]) -> u32 {
+    *xs.first().expect("fixture") // simaudit:allow(no-unwrap-in-hot-path): demo
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!("3".parse::<u32>().unwrap(), 3);
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: `no-wall-clock` must flag host-time reads in sim crates.
+
+pub fn bad_signature() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn allowed() -> u64 {
+    let t = std::time::Instant::now(); // simaudit:allow(no-wall-clock): fixture demo
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,481 @@
+//! The `simaudit` determinism lints: five repo-specific rules enforced over
+//! `crates/**/*.rs` (see `docs/STATIC_ANALYSIS.md` for the catalogue).
+//!
+//! The linter is deliberately textual — the offline build environment has
+//! no `syn`/`quote`, and the rules below are all expressible as line-level
+//! pattern checks with a small amount of context (comment stripping,
+//! `#[cfg(test)]` item tracking). False positives are expected to be rare
+//! and are silenced explicitly with `// simaudit:allow(<rule>)` on the
+//! offending line or the line above, which doubles as in-tree documentation
+//! of why the site is sound.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Every rule the linter knows, in reporting order.
+pub const RULES: &[&str] = &[
+    "no-wall-clock",
+    "no-unordered-iteration",
+    "no-raw-time-math",
+    "no-foreign-rng",
+    "no-unwrap-in-hot-path",
+];
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation with the fix direction.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Entry point for `cargo xtask lint`.
+pub fn run(args: &[String]) -> ExitCode {
+    if let Some(bad) = args.iter().find(|a| a.as_str() != "--quiet") {
+        eprintln!("error: unknown lint option `{bad}`");
+        return ExitCode::FAILURE;
+    }
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let root = workspace_root();
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files);
+    files.sort();
+
+    let mut diags = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        match fs::read_to_string(path) {
+            Ok(content) => {
+                scanned += 1;
+                diags.extend(scan_file(&rel, &content));
+            }
+            Err(e) => {
+                eprintln!("error: cannot read {rel}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        if !quiet {
+            println!("simaudit: {scanned} files clean ({} rules)", RULES.len());
+        }
+        ExitCode::SUCCESS
+    } else {
+        println!("simaudit: {} violation(s) in {scanned} files", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/xtask, so the workspace root is one level up
+    // from this crate's manifest.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask has a parent directory")
+        .to_path_buf()
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Scans one file's content and returns every violation.
+///
+/// `rel` is the workspace-relative path with forward slashes; it selects
+/// which rules apply (several rules only police event-path crates).
+pub fn scan_file(rel: &str, content: &str) -> Vec<Diagnostic> {
+    let lines: Vec<&str> = content.lines().collect();
+    let in_test = test_item_lines(&lines);
+    let mut diags = Vec::new();
+
+    let wall_clock = rel.starts_with("crates/");
+    let unordered = in_event_path(rel);
+    let raw_time = rel.starts_with("crates/") && rel != "crates/desim/src/time.rs";
+    let foreign_rng = rel.starts_with("crates/") && rel != "crates/desim/src/rng.rs";
+    let unwrap_hot = in_event_path(rel) || rel == "crates/desim/src/engine.rs";
+
+    for (i, raw) in lines.iter().enumerate() {
+        let line_no = i + 1;
+        let code = strip_line_comment(raw);
+        let allowed = |rule: &str| has_allow(raw, rule) || (i > 0 && has_allow(lines[i - 1], rule));
+        let mut emit = |rule: &'static str, message: String| {
+            if !allowed(rule) {
+                diags.push(Diagnostic {
+                    file: rel.to_string(),
+                    line: line_no,
+                    rule,
+                    message,
+                });
+            }
+        };
+
+        if wall_clock && (contains_word(code, "Instant") || contains_word(code, "SystemTime")) {
+            emit(
+                "no-wall-clock",
+                "host wall-clock time in simulation code; use the event \
+                 clock (`netsparse_desim::SimTime`) instead"
+                    .to_string(),
+            );
+        }
+
+        if unordered
+            && !in_test[i]
+            && (contains_word(code, "HashMap") || contains_word(code, "HashSet"))
+        {
+            emit(
+                "no-unordered-iteration",
+                "unordered hash container in an event path; iteration order \
+                 is nondeterministic — use BTreeMap/BTreeSet or sort before \
+                 iterating"
+                    .to_string(),
+            );
+        }
+
+        if raw_time {
+            let from_ps_cast =
+                code.contains("from_ps(") && (code.contains("as u64") || code.contains(".round("));
+            if code.contains("from_secs_f64(") || from_ps_cast {
+                emit(
+                    "no-raw-time-math",
+                    "ad-hoc float→time conversion outside desim::time; use \
+                     `SimTime::from_ps_f64`/`SimTime::serialization` so \
+                     rounding stays uniform"
+                        .to_string(),
+                );
+            }
+        }
+
+        if foreign_rng {
+            const FOREIGN: &[&str] = &[
+                "rand",
+                "thread_rng",
+                "ThreadRng",
+                "StdRng",
+                "SeedableRng",
+                "gen_range",
+                "gen_bool",
+            ];
+            if FOREIGN.iter().any(|w| contains_word(code, w)) {
+                emit(
+                    "no-foreign-rng",
+                    "randomness outside `netsparse_desim::rng`; draw from a \
+                     seeded `SplitMix64` so runs stay bit-reproducible"
+                        .to_string(),
+                );
+            }
+        }
+
+        if unwrap_hot && !in_test[i] && (code.contains(".unwrap()") || code.contains(".expect(")) {
+            emit(
+                "no-unwrap-in-hot-path",
+                "unwrap/expect in a simulation hot path; propagate the error \
+                 or handle the None case (panics abort multi-hour runs)"
+                    .to_string(),
+            );
+        }
+    }
+    diags
+}
+
+/// The event-path crates policed by ordering- and panic-sensitive rules.
+fn in_event_path(rel: &str) -> bool {
+    rel == "crates/core/src/sim.rs"
+        || rel.starts_with("crates/snic/src/")
+        || rel.starts_with("crates/switch/src/")
+        || rel.starts_with("crates/netsim/src/")
+}
+
+fn has_allow(line: &str, rule: &str) -> bool {
+    line.contains(&format!("simaudit:allow({rule})"))
+}
+
+/// Returns the code portion of a line: everything before a `//` comment
+/// that is not inside a string literal.
+fn strip_line_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1, // skip escaped char
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Marks lines belonging to `#[cfg(test)]` items (mods or fns) so the
+/// unwrap rule skips test code. Brace counting ignores braces inside
+/// string and char literals.
+fn test_item_lines(lines: &[&str]) -> Vec<bool> {
+    let mut flags = vec![false; lines.len()];
+    let mut pending = false; // saw #[cfg(test)], waiting for the item body
+    let mut depth: i64 = 0;
+    let mut in_item = false;
+    for (i, raw) in lines.iter().enumerate() {
+        let code = strip_line_comment(raw);
+        if in_item {
+            flags[i] = true;
+            depth += brace_delta(code);
+            if depth <= 0 {
+                in_item = false;
+            }
+            continue;
+        }
+        if code.contains("#[cfg(test)]") {
+            pending = true;
+            flags[i] = true;
+            // Attribute and item on one line: `#[cfg(test)] mod t { ... }`.
+            let d = brace_delta(code);
+            if d > 0 {
+                in_item = true;
+                depth = d;
+                pending = false;
+            }
+            continue;
+        }
+        if pending {
+            flags[i] = true;
+            let trimmed = code.trim();
+            if trimmed.is_empty() || trimmed.starts_with("#[") {
+                continue; // further attributes / blank lines
+            }
+            let d = brace_delta(code);
+            if d > 0 {
+                in_item = true;
+                depth = d;
+            }
+            // One-line item (`fn f() {}`) or declaration without a body
+            // (`mod tests;`): nothing more to skip either way.
+            pending = false;
+        }
+    }
+    flags
+}
+
+/// Net `{`/`}` balance of a code line, ignoring braces inside string and
+/// char literals (`format!("{x}")` must not count).
+fn brace_delta(code: &str) -> i64 {
+    let bytes = code.as_bytes();
+    let mut delta = 0i64;
+    let mut i = 0;
+    let mut in_str = false;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_str {
+            match b {
+                b'\\' => i += 1,
+                b'"' => in_str = false,
+                _ => {}
+            }
+        } else {
+            match b {
+                b'"' => in_str = true,
+                b'\'' => {
+                    // Char literal (`'x'`, `'\n'`) vs lifetime (`'a`): a
+                    // char literal closes within a few bytes.
+                    let close = bytes[i + 1..]
+                        .iter()
+                        .take(4)
+                        .position(|&c| c == b'\'')
+                        .map(|p| i + 1 + p);
+                    if let Some(c) = close {
+                        i = c;
+                    }
+                }
+                b'{' => delta += 1,
+                b'}' => delta -= 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    delta
+}
+
+/// True when `word` occurs in `code` delimited by non-identifier chars.
+fn contains_word(code: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(at) = code[start..].find(word) {
+        let at = start + at;
+        let before_ok = at == 0
+            || !code.as_bytes()[at - 1].is_ascii_alphanumeric() && code.as_bytes()[at - 1] != b'_';
+        let after = at + word.len();
+        let after_ok = after >= code.len()
+            || !code.as_bytes()[after].is_ascii_alphanumeric() && code.as_bytes()[after] != b'_';
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_at(diags: &[Diagnostic]) -> Vec<(&'static str, usize)> {
+        diags.iter().map(|d| (d.rule, d.line)).collect()
+    }
+
+    #[test]
+    fn fixture_no_wall_clock_fires() {
+        let src = include_str!("../fixtures/no_wall_clock.rs");
+        let diags = scan_file("crates/desim/src/fixture.rs", src);
+        assert_eq!(
+            rules_at(&diags),
+            vec![("no-wall-clock", 3), ("no-wall-clock", 4)],
+            "{diags:#?}"
+        );
+    }
+
+    #[test]
+    fn fixture_no_unordered_iteration_fires() {
+        let src = include_str!("../fixtures/no_unordered_iteration.rs");
+        let diags = scan_file("crates/snic/src/fixture.rs", src);
+        assert_eq!(
+            rules_at(&diags),
+            vec![("no-unordered-iteration", 3), ("no-unordered-iteration", 4)],
+            "{diags:#?}"
+        );
+    }
+
+    #[test]
+    fn fixture_no_raw_time_math_fires() {
+        let src = include_str!("../fixtures/no_raw_time_math.rs");
+        let diags = scan_file("crates/netsim/src/fixture.rs", src);
+        assert_eq!(
+            rules_at(&diags),
+            vec![("no-raw-time-math", 5), ("no-raw-time-math", 9)],
+            "{diags:#?}"
+        );
+    }
+
+    #[test]
+    fn fixture_no_foreign_rng_fires() {
+        let src = include_str!("../fixtures/no_foreign_rng.rs");
+        let diags = scan_file("crates/sparse/src/fixture.rs", src);
+        assert_eq!(
+            rules_at(&diags),
+            vec![
+                ("no-foreign-rng", 3),
+                ("no-foreign-rng", 6),
+                ("no-foreign-rng", 7)
+            ],
+            "{diags:#?}"
+        );
+    }
+
+    #[test]
+    fn fixture_no_unwrap_in_hot_path_fires() {
+        let src = include_str!("../fixtures/no_unwrap_in_hot_path.rs");
+        let diags = scan_file("crates/switch/src/fixture.rs", src);
+        assert_eq!(
+            rules_at(&diags),
+            vec![("no-unwrap-in-hot-path", 4)],
+            "{diags:#?}"
+        );
+    }
+
+    #[test]
+    fn rules_are_path_scoped() {
+        // The unordered-iteration fixture is clean outside event paths
+        // (apart from rules that apply everywhere, of which it has none).
+        let src = include_str!("../fixtures/no_unordered_iteration.rs");
+        assert!(scan_file("crates/sparse/src/fixture.rs", src).is_empty());
+        // The unwrap fixture is clean outside hot paths.
+        let src = include_str!("../fixtures/no_unwrap_in_hot_path.rs");
+        assert!(scan_file("crates/hwmodel/src/fixture.rs", src).is_empty());
+        // Nothing under tests/, examples/ or xtask/ is ever scanned by
+        // path scope rules that require crates/.
+        let src = "let t = std::time::Instant::now();";
+        assert!(scan_file("tests/something.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses_same_and_previous_line() {
+        let same = "let t = Instant::now(); // simaudit:allow(no-wall-clock)";
+        assert!(scan_file("crates/desim/src/x.rs", same).is_empty());
+        let prev = "// simaudit:allow(no-wall-clock): host profiling\nlet t = Instant::now();";
+        assert!(scan_file("crates/desim/src/x.rs", prev).is_empty());
+        // The marker names a specific rule; others still fire.
+        let wrong = "let t = Instant::now(); // simaudit:allow(no-foreign-rng)";
+        assert_eq!(scan_file("crates/desim/src/x.rs", wrong).len(), 1);
+    }
+
+    #[test]
+    fn comments_do_not_trigger_rules() {
+        let src = "// HashMap iteration would be nondeterministic here\nlet x = 1;";
+        assert!(scan_file("crates/snic/src/x.rs", src).is_empty());
+        let src = "/// Unlike `rand`, SplitMix64 is in-tree.\npub struct S;";
+        assert!(scan_file("crates/sparse/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_items_may_use_hash_containers() {
+        // Tests often use HashSet to assert uniqueness; ordering there is
+        // irrelevant, so the rule only polices non-test code.
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { let mut s = std::collections::HashSet::new(); s.insert(1); }\n}\nfn hot() { let _m: std::collections::HashMap<u32, u32> = Default::default(); }";
+        let diags = scan_file("crates/snic/src/x.rs", src);
+        assert_eq!(rules_at(&diags), vec![("no-unordered-iteration", 5)]);
+    }
+
+    #[test]
+    fn string_braces_do_not_break_test_tracking() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { println!(\"{}\", 1.to_string()); }\n    fn g() { let _ = \"x\".parse::<u32>().unwrap(); }\n}\npub fn hot() { Some(1).unwrap(); }";
+        let diags = scan_file("crates/switch/src/x.rs", src);
+        assert_eq!(rules_at(&diags), vec![("no-unwrap-in-hot-path", 6)]);
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        // `rng` and `operand` must not match the `rand` word rule.
+        let src = "let operand = rng.next_u64();";
+        assert!(scan_file("crates/sparse/src/x.rs", src).is_empty());
+        assert!(contains_word("use rand::Rng;", "rand"));
+        assert!(!contains_word("operand", "rand"));
+        assert!(!contains_word("rands", "rand"));
+    }
+}

@@ -1,0 +1,30 @@
+//! `cargo xtask` — the workspace's own build/lint tool.
+
+mod lint;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint::run(&args.collect::<Vec<_>>()),
+        Some(other) => {
+            eprintln!("error: unknown xtask command `{other}`");
+            eprintln!();
+            usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask <command>");
+    eprintln!();
+    eprintln!("commands:");
+    eprintln!("  lint    run the simaudit determinism lints over crates/**/*.rs");
+    eprintln!("          (see docs/STATIC_ANALYSIS.md for the rule catalogue)");
+}
