@@ -80,6 +80,10 @@ fn main() {
             Box::new(move || netsparse_bench::tables::ext_faults(&o)),
         ),
         (
+            "Extension: fault sweep (§7.1 extended)",
+            Box::new(move || netsparse_bench::tables::ext_fault_sweep(&o)),
+        ),
+        (
             "Extension: hybrid baseline",
             Box::new(move || netsparse_bench::tables::ext_hybrid(&o)),
         ),

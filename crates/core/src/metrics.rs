@@ -54,6 +54,56 @@ impl NodeReport {
     }
 }
 
+/// Everything the fault-injection layer observed in one run — populated
+/// only when faults are configured (see `docs/FAULTS.md`).
+#[derive(Debug, Clone, Default)]
+pub struct FaultReport {
+    /// Packets dropped by the stochastic loss process (Bernoulli or
+    /// Gilbert–Elliott), per switch traversal.
+    pub dropped_loss: u64,
+    /// Packets blackholed by a dead switch or severed route.
+    pub dropped_dead: u64,
+    /// Distribution of consecutive-drop burst lengths from the loss
+    /// process (the Gilbert–Elliott signature; Bernoulli runs cluster at
+    /// 1).
+    pub drop_bursts: Histogram,
+    /// Total watchdog command restarts across the cluster.
+    pub watchdog_retries: u64,
+    /// Extra waiting accumulated by exponential backoff beyond the base
+    /// watchdog interval.
+    pub backoff_wait: SimTime,
+    /// Next-hop routing entries rewritten by failover recomputations.
+    pub route_failovers: u64,
+    /// Scheduled failure/repair transitions applied.
+    pub fault_transitions: u64,
+    /// Nodes that escalated to degraded mode (retry budget exhausted).
+    pub degraded_nodes: u64,
+    /// PRs sent via the degraded direct path (unconcatenated, uncached).
+    pub degraded_prs: u64,
+    /// PRs abandoned by watchdog restarts (conservation ledger's
+    /// `abandoned` column).
+    pub abandoned_prs: u64,
+    /// Commands given up entirely after the extended budget (destination
+    /// unreachable); nonzero here means `functional_check_passed` is
+    /// expected to be false.
+    pub abandoned_commands: u64,
+    /// Responses that arrived for already-abandoned PRs (the data is
+    /// still delivered; the ledger counts them separately to avoid
+    /// over-resolving).
+    pub stale_responses: u64,
+    /// Set when `watchdog_ns` is below the estimated worst-case command
+    /// RTT: the watchdog restarts *healthy* commands, and the resulting
+    /// storm masquerades as loss.
+    pub watchdog_warning: Option<String>,
+}
+
+impl FaultReport {
+    /// Total packets lost to any cause.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped_loss + self.dropped_dead
+    }
+}
+
 /// The full result of one cluster simulation.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -92,6 +142,8 @@ pub struct SimReport {
     /// must report identical digests. `None` in release builds without the
     /// `audit` feature (auditing compiled out).
     pub audit_digest: Option<u64>,
+    /// Fault-injection observations; `None` when the run was fault-free.
+    pub faults: Option<FaultReport>,
 }
 
 /// One heavily loaded link in the run.
@@ -217,7 +269,27 @@ impl fmt::Display for SimReport {
         ) {
             writeln!(f, "PR latency: p50 {p50}, p99 {p99}")?;
         }
-        if self.dropped_packets > 0 {
+        if let Some(fr) = &self.faults {
+            writeln!(
+                f,
+                "faults: {} dropped ({} loss / {} dead), {} retries, {} failovers",
+                fr.total_dropped(),
+                fr.dropped_loss,
+                fr.dropped_dead,
+                fr.watchdog_retries,
+                fr.route_failovers
+            )?;
+            if fr.degraded_nodes > 0 {
+                writeln!(
+                    f,
+                    "degraded mode: {} nodes, {} direct PRs, {} PRs abandoned",
+                    fr.degraded_nodes, fr.degraded_prs, fr.abandoned_prs
+                )?;
+            }
+            if let Some(w) = &fr.watchdog_warning {
+                writeln!(f, "warning: {w}")?;
+            }
+        } else if self.dropped_packets > 0 {
             writeln!(f, "faults: {} packets dropped", self.dropped_packets)?;
         }
         write!(
@@ -265,6 +337,7 @@ mod tests {
             max_link_backlog_bytes: 0,
             hot_links: Vec::new(),
             audit_digest: None,
+            faults: None,
         }
     }
 
@@ -300,6 +373,26 @@ mod tests {
         let text = report().to_string();
         assert!(text.contains("tail node 1"));
         assert!(text.contains("functional check: passed"));
+    }
+
+    #[test]
+    fn display_summarizes_faults() {
+        let mut r = report();
+        r.faults = Some(FaultReport {
+            dropped_loss: 7,
+            dropped_dead: 3,
+            watchdog_retries: 5,
+            route_failovers: 2,
+            degraded_nodes: 1,
+            degraded_prs: 11,
+            watchdog_warning: Some("watchdog 1 us below estimated RTT 4 us".into()),
+            ..FaultReport::default()
+        });
+        let text = r.to_string();
+        assert!(text.contains("10 dropped (7 loss / 3 dead)"), "{text}");
+        assert!(text.contains("degraded mode: 1 nodes"), "{text}");
+        assert!(text.contains("warning: watchdog"), "{text}");
+        assert_eq!(r.faults.as_ref().unwrap().total_dropped(), 10);
     }
 
     #[test]

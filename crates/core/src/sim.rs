@@ -27,7 +27,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use netsparse_desim::{Engine, Histogram, Reservoir, Scheduler, SimTime, SplitMix64};
+use netsparse_desim::{Engine, Histogram, LossProcess, Reservoir, Scheduler, SimTime, SplitMix64};
+use netsparse_netsim::topology::FailureSet;
 use netsparse_netsim::{Element, Link, LinkId, Network, SwitchId};
 use netsparse_snic::vconcat::VirtualConcatenator;
 use netsparse_snic::{
@@ -36,8 +37,8 @@ use netsparse_snic::{
 use netsparse_sparse::CommWorkload;
 use netsparse_switch::MiddlePipes;
 
-use crate::config::{ClusterConfig, ConcatImpl};
-use crate::metrics::{HotLink, NodeReport, SimReport};
+use crate::config::{ClusterConfig, ConcatImpl, FaultTarget};
+use crate::metrics::{FaultReport, HotLink, NodeReport, SimReport};
 
 /// A concatenation point of either implementation (§6.1.2 dedicated CQs
 /// or §7.2 virtualized CQs), with a uniform interface for the event loop.
@@ -130,6 +131,21 @@ enum Event {
         unit: u16,
         generation: u64,
     },
+    /// A scheduled hardware failure or repair takes effect: the failure
+    /// set is updated and every route is recomputed over the survivors.
+    FaultTransition {
+        action: FaultAction,
+    },
+}
+
+/// A resolved fault-schedule entry (config targets are mapped to concrete
+/// netsim ids once, at construction).
+#[derive(Debug, Clone, Copy)]
+enum FaultAction {
+    FailSwitch(SwitchId),
+    RepairSwitch(SwitchId),
+    FailLink(LinkId),
+    RepairLink(LinkId),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,8 +172,11 @@ struct ClientUnit {
     /// Properties delivered for the current command (discarded on a
     /// watchdog failure, per §7.1).
     received_this_cmd: Vec<u32>,
-    /// Watchdog restarts suffered by this unit.
+    /// Watchdog restarts suffered by this unit (lifetime total).
     retries: u64,
+    /// Watchdog restarts of the *current* command; drives the exponential
+    /// backoff and the escalation ladder, reset on every assignment.
+    cmd_retries: u32,
 }
 
 struct NodeState {
@@ -183,12 +202,21 @@ struct NodeState {
     finish: Option<SimTime>,
     needed: BTreeSet<u32>,
     received: BTreeSet<u32>,
-    /// Issue timestamp of each outstanding PR, keyed by (unit, idx) —
-    /// the PR round-trip-latency probe.
+    /// Issue timestamp of each outstanding PR, keyed by (unit, req_id) —
+    /// the PR round-trip-latency probe and the conservation ledger's
+    /// outstanding set. req_id (not idx) keeps duplicate issues of one idx
+    /// distinct, so a watchdog abandon and a late response can't collide.
     issue_times: BTreeMap<(u16, u32), SimTime>,
     responses: u64,
     dup_responses: u64,
     rx_payload: u64,
+    /// SNIC client cycle period, scaled by this node's straggler slowdown.
+    cycle: SimTime,
+    /// Server PR service time, scaled by this node's straggler slowdown.
+    serve: SimTime,
+    /// §7.1 escalation: once set, this node's client units stop using
+    /// concatenation and the cached path and emit bare singleton PRs.
+    degraded_mode: bool,
 }
 
 struct SwitchState {
@@ -211,14 +239,22 @@ struct World<'a> {
     from_switch: Vec<Vec<Option<(LinkId, Element)>>>,
     nodes: Vec<NodeState>,
     switches: Vec<SwitchState>,
-    cycle: SimTime,
-    server_svc: SimTime,
     cache_lat: SimTime,
     switch_lat: SimTime,
     pcie_lat: SimTime,
     payload: u32,
-    loss_rng: SplitMix64,
-    dropped_packets: u64,
+    /// Packet-drop process for the configured loss model.
+    loss: LossProcess,
+    loss_active: bool,
+    /// Backoff-jitter randomness, independent of the loss stream.
+    jitter_rng: SplitMix64,
+    /// Currently-dead links and switches.
+    failures: FailureSet,
+    /// Fault-schedule entries resolved to concrete actions; drained into
+    /// the engine by [`simulate`].
+    pending_transitions: Vec<(SimTime, FaultAction)>,
+    /// Live fault counters; finalized into `SimReport::faults`.
+    faults: FaultReport,
     pr_latency: Reservoir,
     /// Runtime invariant auditor (PR conservation ledger); compiled only
     /// in debug builds or under the `audit` feature.
@@ -238,7 +274,7 @@ impl<'a> World<'a> {
         let n_switches = net.switches();
 
         // Runtime link states.
-        let links: Vec<Link> = (0..net.links()).map(|_| Link::new(cfg.link)).collect();
+        let mut links: Vec<Link> = (0..net.links()).map(|_| Link::new(cfg.link)).collect();
 
         // Routing tables from the precomputed paths.
         let mut from_nic = vec![(LinkId(0), 0u32); n_nodes as usize];
@@ -282,6 +318,49 @@ impl<'a> World<'a> {
             }
         }
 
+        // Per-node degradation: a reduced-bandwidth NIC slows both the
+        // uplink and the ToR->NIC downlink of the affected node.
+        for d in &cfg.faults.degraded {
+            let mut params = cfg.link;
+            params.bandwidth_bps *= d.nic_bandwidth_factor;
+            links[from_nic[d.node as usize].0 .0 as usize] = Link::new(params);
+            links[downlink[d.node as usize].0 as usize] = Link::new(params);
+        }
+
+        // Resolve the fault schedule to concrete netsim ids up front, so
+        // transitions are O(1) mutations at event time.
+        let mut pending_transitions: Vec<(SimTime, FaultAction)> = Vec::new();
+        for ev in &cfg.faults.failures {
+            match ev.target {
+                FaultTarget::Switch(s) => {
+                    let s = SwitchId(s);
+                    pending_transitions
+                        .push((SimTime::from_ns(ev.at_ns), FaultAction::FailSwitch(s)));
+                    if let Some(r) = ev.repair_at_ns {
+                        pending_transitions
+                            .push((SimTime::from_ns(r), FaultAction::RepairSwitch(s)));
+                    }
+                }
+                FaultTarget::SwitchLink { from, to } => {
+                    let link = match net.find_link(
+                        Element::Switch(SwitchId(from)),
+                        Element::Switch(SwitchId(to)),
+                    ) {
+                        Some(l) => l,
+                        None => panic!(
+                            "fault schedule cuts a nonexistent link: switch {from} -> switch {to}"
+                        ),
+                    };
+                    pending_transitions
+                        .push((SimTime::from_ns(ev.at_ns), FaultAction::FailLink(link)));
+                    if let Some(r) = ev.repair_at_ns {
+                        pending_transitions
+                            .push((SimTime::from_ns(r), FaultAction::RepairLink(link)));
+                    }
+                }
+            }
+        }
+
         let snic_clock = cfg.snic_clock();
         let cycle = snic_clock.period();
         let payload = cfg.payload_bytes();
@@ -313,6 +392,14 @@ impl<'a> World<'a> {
                         needed.insert(idx);
                     }
                 }
+                // Straggler slowdown stretches this node's SNIC cycle and
+                // server service times.
+                let slowdown = cfg
+                    .faults
+                    .degraded
+                    .iter()
+                    .find(|d| d.node == p)
+                    .map_or(1.0, |d| d.compute_slowdown);
                 NodeState {
                     units: (0..cfg.snic.client_units())
                         .map(|tid| ClientUnit {
@@ -323,6 +410,7 @@ impl<'a> World<'a> {
                             generation: 0,
                             received_this_cmd: Vec::new(),
                             retries: 0,
+                            cmd_retries: 0,
                         })
                         .collect(),
                     filter: IdxFilter::new(wl.n_cols()),
@@ -348,6 +436,9 @@ impl<'a> World<'a> {
                     responses: 0,
                     dup_responses: 0,
                     rx_payload: 0,
+                    cycle: SimTime::from_ps_f64(cycle.as_ps() as f64 * slowdown),
+                    serve: SimTime::from_ps_f64(server_svc.as_ps() as f64 * slowdown),
+                    degraded_mode: false,
                 }
             })
             .collect();
@@ -387,16 +478,18 @@ impl<'a> World<'a> {
             from_switch,
             nodes,
             switches,
-            cycle,
-            server_svc,
             cache_lat: cfg
                 .switch_clock()
                 .cycles(cfg.switch.cache.latency_cycles as u64),
             switch_lat: cfg.switch_latency(),
             pcie_lat: cfg.pcie_latency(),
             payload,
-            loss_rng: SplitMix64::new(cfg.faults.seed ^ 0x10DD_F00D),
-            dropped_packets: 0,
+            loss: LossProcess::new(cfg.faults.loss, cfg.faults.seed ^ 0x10DD_F00D),
+            loss_active: cfg.faults.loss.is_lossy(),
+            jitter_rng: SplitMix64::new(cfg.faults.seed ^ 0x0BAC_C0FF),
+            failures: FailureSet::new(),
+            pending_transitions,
+            faults: FaultReport::default(),
             pr_latency: Reservoir::new(4_096, 0x01A7_E0C1),
             #[cfg(any(debug_assertions, feature = "audit"))]
             audit: netsparse_desim::Auditor::new(),
@@ -430,10 +523,19 @@ impl<'a> World<'a> {
         pkt: ConcatPacket,
         sched: &mut Scheduler<'_, Event>,
     ) {
-        // Routing tables are total by construction (World::new fills every
-        // (switch, dest)), so this lookup can only fail on a wiring bug.
-        let (link, to) = self.from_switch[sw as usize][pkt.dest as usize]
-            .expect("deterministic route must exist"); // simaudit:allow(no-unwrap-in-hot-path)
+        // With no failures the table is total by construction; under an
+        // active failure set it can have holes — the destination may be
+        // unreachable, or the packet may sit on a stale path after a
+        // failover rebuild. Either way the packet is blackholed here and
+        // the watchdog recovers the PRs it carried.
+        let Some((link, to)) = self.from_switch[sw as usize][pkt.dest as usize] else {
+            self.faults.dropped_dead += 1;
+            return;
+        };
+        if self.failures.link_dead(link) {
+            self.faults.dropped_dead += 1;
+            return;
+        }
         let bytes = pkt.wire_bytes;
         let arrive = self.links[link.0 as usize].transmit(at.max(sched.now()), bytes);
         match to {
@@ -447,6 +549,65 @@ impl<'a> World<'a> {
             ),
             Element::Nic(n) => sched.schedule(arrive, Event::PacketAtNic { node: n, pkt }),
         }
+    }
+
+    /// Applies a scheduled failure or repair, then reconverges routing.
+    fn apply_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::FailSwitch(s) => self.failures.fail_switch(s),
+            FaultAction::RepairSwitch(s) => self.failures.repair_switch(s),
+            FaultAction::FailLink(l) => self.failures.fail_link(l),
+            FaultAction::RepairLink(l) => self.failures.repair_link(l),
+        }
+        self.faults.fault_transitions += 1;
+        self.rebuild_routes();
+    }
+
+    /// Recomputes every (switch, dest) forwarding entry over the surviving
+    /// elements using deterministic failover paths (ECMP next-choice).
+    /// Entries whose next hop changed are counted as route failovers.
+    /// Packets already in flight on a stale path are blackholed at their
+    /// next hop lookup — exactly what a real reconvergence does to
+    /// in-flight traffic — and recovered by the watchdog.
+    fn rebuild_routes(&mut self) {
+        let n_nodes = self.net.nodes();
+        let n_switches = self.net.switches();
+        let mut table: Vec<Vec<Option<(LinkId, Element)>>> =
+            vec![vec![None; n_nodes as usize]; n_switches as usize];
+        for src in 0..n_nodes {
+            for dst in 0..n_nodes {
+                if src == dst {
+                    continue;
+                }
+                let Some(path) = self.net.failover_path(src, dst, &self.failures) else {
+                    continue; // dst unreachable from src right now
+                };
+                let mut prev = Element::Nic(src);
+                for hop in &path.hops {
+                    if let Element::Switch(sw) = prev {
+                        let entry = &mut table[sw.0 as usize][dst as usize];
+                        // First writer wins: sources sharing a switch on
+                        // their paths to dst agree by construction on most
+                        // topologies; where they don't (HyperX dim-order
+                        // fallbacks), any surviving choice is loop-free.
+                        if entry.is_none() {
+                            *entry = Some((hop.link, hop.to));
+                        }
+                    }
+                    prev = hop.to;
+                }
+            }
+        }
+        let mut changed = 0u64;
+        for (old_row, new_row) in self.from_switch.iter().zip(&table) {
+            for (old, new) in old_row.iter().zip(new_row) {
+                if old != new {
+                    changed += 1;
+                }
+            }
+        }
+        self.faults.route_failovers += changed;
+        self.from_switch = table;
     }
 
     /// (Re-)schedules the earliest pending concatenator expiry for a NIC.
@@ -512,6 +673,7 @@ impl<'a> World<'a> {
         unit.state = UnitState::Running;
         unit.generation += 1;
         unit.received_this_cmd.clear();
+        unit.cmd_retries = 0;
         let generation = unit.generation;
         sched.schedule(
             start_t,
@@ -551,11 +713,14 @@ impl<'a> World<'a> {
     ) {
         let chunk = self.cfg.snic.idx_chunk();
         let mechanisms = self.cfg.mechanisms;
-        let cycle = self.cycle;
+        let headers = self.cfg.headers;
+        let cycle = self.nodes[node as usize].cycle;
+        let degraded_mode = self.nodes[node as usize].degraded_mode;
         let stream = self.wl.stream(node);
         let partition = self.wl.partition();
         let mut out: Vec<(SimTime, ConcatPacket)> = Vec::new();
         let mut command_done = false;
+        let mut degraded_sent = 0u64;
 
         {
             let st = &mut self.nodes[node as usize];
@@ -594,10 +759,27 @@ impl<'a> World<'a> {
                         let t_pr = now + cycle * cycles;
                         #[cfg(any(debug_assertions, feature = "audit"))]
                         self.audit.issue("pr");
-                        issue_times.insert((unit_id, idx), t_pr);
+                        issue_times.insert((unit_id, pr.req_id), t_pr);
                         let dest = partition.owner(idx);
-                        for pkt in concat.push(t_pr, dest, PrKind::Read, pr, 0) {
-                            out.push((t_pr, pkt));
+                        if degraded_mode {
+                            // §7.1 escalation: bypass concatenation and
+                            // the cached switch path entirely — one bare
+                            // packet per PR, forwarded verbatim.
+                            degraded_sent += 1;
+                            out.push((
+                                t_pr,
+                                ConcatPacket::degraded_singleton(
+                                    &headers,
+                                    dest,
+                                    PrKind::Read,
+                                    pr,
+                                    0,
+                                ),
+                            ));
+                        } else {
+                            for pkt in concat.push(t_pr, dest, PrKind::Read, pr, 0) {
+                                out.push((t_pr, pkt));
+                            }
                         }
                     }
                     IdxOutcome::Local | IdxOutcome::Filtered | IdxOutcome::Coalesced => {
@@ -627,6 +809,7 @@ impl<'a> World<'a> {
             }
         }
 
+        self.faults.degraded_prs += degraded_sent;
         for (t, pkt) in out {
             self.send_from_nic(node, t, pkt, sched);
         }
@@ -656,6 +839,7 @@ impl<'a> World<'a> {
         unit.state = UnitState::Idle;
         unit.generation += 1;
         unit.received_this_cmd.clear();
+        unit.cmd_retries = 0;
         st.active_cmds -= 1;
         if adaptive {
             // §9.4 adaptive control: cross-unit duplicate responses mean
@@ -710,21 +894,38 @@ impl<'a> World<'a> {
     ) {
         debug_assert_eq!(pkt.dest, node, "read packet delivered to wrong node");
         let payload = self.payload;
-        let svc = self.server_svc;
         let pcie_lat = self.pcie_lat;
+        let headers = self.cfg.headers;
+        let degraded = pkt.degraded;
         let mut out: Vec<(SimTime, ConcatPacket)> = Vec::new();
         {
             let st = &mut self.nodes[node as usize];
+            let svc = st.serve;
             for pr in pkt.prs {
                 let t = st.server_busy.max(now) + svc;
                 st.server_busy = t;
                 st.pcie_h2d.transmit(t, payload as u64);
                 let t_resp = t + pcie_lat;
-                for p in st
-                    .concat
-                    .push(t_resp, pr.src_node, PrKind::Response, pr, payload)
-                {
-                    out.push((t_resp, p));
+                if degraded {
+                    // Degraded requests get degraded responses: same bare
+                    // forward-only path back to the requester.
+                    out.push((
+                        t_resp,
+                        ConcatPacket::degraded_singleton(
+                            &headers,
+                            pr.src_node,
+                            PrKind::Response,
+                            pr,
+                            payload,
+                        ),
+                    ));
+                } else {
+                    for p in st
+                        .concat
+                        .push(t_resp, pr.src_node, PrKind::Response, pr, payload)
+                    {
+                        out.push((t_resp, p));
+                    }
                 }
             }
         }
@@ -757,11 +958,16 @@ impl<'a> World<'a> {
                     issue_times,
                     ..
                 } = st;
-                if let Some(t_issue) = issue_times.remove(&(pr.src_tid, pr.idx)) {
+                if let Some(t_issue) = issue_times.remove(&(pr.src_tid, pr.req_id)) {
                     self.pr_latency.record(now.saturating_sub(t_issue).as_ps());
+                    #[cfg(any(debug_assertions, feature = "audit"))]
+                    self.audit.resolve("pr");
+                } else {
+                    // The watchdog already abandoned this PR (its ledger
+                    // entry is closed); the data is still good, so deliver
+                    // it, but don't resolve or time it.
+                    self.faults.stale_responses += 1;
                 }
-                #[cfg(any(debug_assertions, feature = "audit"))]
-                self.audit.resolve("pr");
                 let unit = &mut units[pr.src_tid as usize];
                 unit.rig.complete(pr.idx, filter);
                 if unit.cmd.is_some() {
@@ -802,15 +1008,21 @@ impl<'a> World<'a> {
         pkt: ConcatPacket,
         sched: &mut Scheduler<'_, Event>,
     ) {
-        // §7.1: hardware-failure packet loss, injected per switch
-        // traversal. Detection/recovery is the RIG watchdog.
-        if self.cfg.faults.loss_rate > 0.0 && self.loss_rng.chance(self.cfg.faults.loss_rate) {
-            self.dropped_packets += 1;
+        // §7.1 hardware faults: a dead switch blackholes everything it
+        // receives; surviving packets then face the configured loss
+        // process (Bernoulli or Gilbert–Elliott bursts) per traversal.
+        // Detection/recovery is the RIG watchdog.
+        if self.failures.switch_dead(SwitchId(sw)) {
+            self.faults.dropped_dead += 1;
             return;
+        }
+        if self.loss_active && self.loss.drop_packet() {
+            return; // counted by the loss process, surfaced in FaultReport
         }
         let t = now + self.switch_lat;
         let topo = *self.net.topology();
-        let process = self.switches[sw as usize].netsparse
+        let process = !pkt.degraded
+            && self.switches[sw as usize].netsparse
             && (from_nic || topo.edge_switch_of(pkt.dest).0 == sw);
         if !process {
             self.send_from_switch(sw, t, pkt, sched);
@@ -899,12 +1111,18 @@ impl<'a> World<'a> {
                 unit,
                 generation,
             } => self.watchdog(now, node, unit, generation, sched),
+            Event::FaultTransition { action } => self.apply_fault(action),
         }
     }
 
-    /// §7.1 recovery: the RIG operation timed out. Discard the partial
-    /// gather (drop its filter bits and received records), abandon
-    /// outstanding PRs, and restart the command from its first idx.
+    /// §7.1 recovery: the RIG operation timed out. Abandon outstanding
+    /// PRs, discard the partial gather (drop its filter bits and received
+    /// records), and restart the command from its first idx with an
+    /// exponentially backed-off, jittered watchdog. The escalation ladder:
+    /// after `max_retries` restarts the node enters degraded mode
+    /// (singleton PRs, forward-only switching); after twice that budget
+    /// the command is abandoned outright so the run terminates instead of
+    /// hanging on an unreachable destination.
     fn watchdog(
         &mut self,
         now: SimTime,
@@ -913,47 +1131,107 @@ impl<'a> World<'a> {
         generation: u64,
         sched: &mut Scheduler<'_, Event>,
     ) {
-        let watchdog = SimTime::from_ns(self.cfg.faults.watchdog_ns);
-        let st = &mut self.nodes[node as usize];
-        let NodeState {
-            units,
-            filter,
-            received,
-            ..
-        } = st;
-        let unit = &mut units[unit_id as usize];
-        if unit.generation != generation {
-            return; // the command completed; stand down
+        let base_ns = self.cfg.faults.watchdog_ns;
+        let max_retries = self.cfg.faults.max_retries.max(1);
+        let multiplier = self.cfg.faults.backoff_multiplier;
+        let jitter_frac = self.cfg.faults.backoff_jitter;
+
+        let cmd_retries;
+        {
+            let unit = &mut self.nodes[node as usize].units[unit_id as usize];
+            if unit.generation != generation {
+                return; // the command completed; stand down
+            }
+            if unit.cmd.is_none() {
+                return; // spurious wakeup after completion
+            }
+            unit.retries += 1;
+            unit.cmd_retries += 1;
+            cmd_retries = unit.cmd_retries;
         }
-        let Some((start, _)) = unit.cmd else {
-            return; // spurious wakeup after completion
-        };
-        unit.retries += 1;
-        for idx in unit.received_this_cmd.drain(..) {
-            filter.remove(idx);
-            received.remove(&idx);
+
+        // Abandon the unit's outstanding PRs: any response that still
+        // arrives is stale and must not resolve the ledger twice.
+        let stale: Vec<(u16, u32)> = self.nodes[node as usize]
+            .issue_times
+            .range((unit_id, 0)..=(unit_id, u32::MAX))
+            .map(|(&k, _)| k)
+            .collect();
+        for k in &stale {
+            self.nodes[node as usize].issue_times.remove(k);
         }
-        unit.rig.reset_pending();
-        unit.pos = start;
-        unit.generation += 1;
-        let generation = unit.generation;
-        let was_running = unit.state == UnitState::Running;
-        unit.state = UnitState::Running;
-        if !was_running {
-            sched.schedule(
-                now,
-                Event::ClientProcess {
-                    node,
-                    unit: unit_id,
-                },
-            );
+        let n_stale = stale.len() as u64;
+        self.faults.abandoned_prs += n_stale;
+        #[cfg(any(debug_assertions, feature = "audit"))]
+        self.audit.abandon_n("pr", n_stale);
+
+        // Final escalation rung: the retry budget is exhausted twice over
+        // (degraded mode included) — the destination is presumed gone.
+        // Keep whatever data arrived, clear the pending table, and retire
+        // the command; the functional check will flag the missing columns.
+        if cmd_retries > 2 * max_retries {
+            let unit = &mut self.nodes[node as usize].units[unit_id as usize];
+            unit.received_this_cmd.clear();
+            unit.rig.reset_pending();
+            self.faults.abandoned_commands += 1;
+            self.complete_command(now, node, unit_id, sched);
+            return;
         }
+
+        // First escalation rung: out of direct retries — fall back to
+        // degraded direct PRs that skip every mechanism that kept failing.
+        if cmd_retries >= max_retries {
+            self.nodes[node as usize].degraded_mode = true;
+        }
+
+        let new_generation;
+        {
+            let st = &mut self.nodes[node as usize];
+            let NodeState {
+                units,
+                filter,
+                received,
+                ..
+            } = st;
+            let unit = &mut units[unit_id as usize];
+            let Some((start, _)) = unit.cmd else {
+                return;
+            };
+            for idx in unit.received_this_cmd.drain(..) {
+                filter.remove(idx);
+                received.remove(&idx);
+            }
+            unit.rig.reset_pending();
+            unit.pos = start;
+            unit.generation += 1;
+            new_generation = unit.generation;
+            let was_running = unit.state == UnitState::Running;
+            unit.state = UnitState::Running;
+            if !was_running {
+                sched.schedule(
+                    now,
+                    Event::ClientProcess {
+                        node,
+                        unit: unit_id,
+                    },
+                );
+            }
+        }
+
+        // Exponential backoff with jitter: doubling (by default) spreads
+        // retries past transient outages; the jitter desynchronizes units
+        // that all timed out on the same failure.
+        let exponent = cmd_retries.saturating_sub(1).min(16) as i32;
+        let jitter = 1.0 + jitter_frac * self.jitter_rng.next_f64();
+        let interval_ns = (base_ns as f64 * multiplier.powi(exponent) * jitter) as u64;
+        let interval = SimTime::from_ns(interval_ns.max(base_ns));
+        self.faults.backoff_wait += interval.saturating_sub(SimTime::from_ns(base_ns));
         sched.schedule(
-            now + watchdog,
+            now + interval,
             Event::Watchdog {
                 node,
                 unit: unit_id,
-                generation,
+                generation: new_generation,
             },
         );
     }
@@ -996,13 +1274,28 @@ impl<'a> World<'a> {
             .flat_map(|n| n.units.iter())
             .map(|u| u.retries)
             .sum();
-        if self.cfg.faults.loss_rate == 0.0 && retries == 0 && self.audit.ledger("pr").is_some() {
-            self.audit.check_balanced("pr");
+        if self.audit.ledger("pr").is_some() {
+            if !self.cfg.faults.needs_watchdog() && retries == 0 {
+                // Fault-free runs must balance exactly: every issued PR
+                // resolved, nothing abandoned.
+                self.audit.check_balanced("pr");
+            } else {
+                // Faulted runs conserve instead: issued PRs are resolved,
+                // abandoned by the watchdog, or still tracked (a dropped
+                // duplicate whose command completed without it).
+                let outstanding: u64 = self.nodes.iter().map(|n| n.issue_times.len() as u64).sum();
+                self.audit.check_conserved("pr", outstanding);
+            }
         }
     }
 
-    fn into_report(self, events: u64, audit_digest: Option<u64>) -> SimReport {
+    fn into_report(mut self, events: u64, audit_digest: Option<u64>) -> SimReport {
         let k = self.cfg.k;
+        self.loss.finish();
+        let mut fr = std::mem::take(&mut self.faults);
+        fr.dropped_loss = self.loss.drops();
+        fr.drop_bursts = self.loss.burst_lengths().clone();
+        fr.degraded_nodes = self.nodes.iter().filter(|n| n.degraded_mode).count() as u64;
         let mut prs_per_packet = Histogram::new();
         for n in &self.nodes {
             prs_per_packet.merge(n.concat.prs_per_packet());
@@ -1096,6 +1389,25 @@ impl<'a> World<'a> {
             .map(|n| n.finish)
             .max()
             .unwrap_or(SimTime::ZERO);
+        fr.watchdog_retries = nodes.iter().map(|n| n.watchdog_retries).sum();
+        let wd = self.cfg.faults.watchdog_ns;
+        if wd > 0 {
+            // Watchdog-sanity check (satellite of §7.1): a timeout below
+            // the worst-case PR round trip restarts healthy commands.
+            let est = self.cfg.estimated_worst_rtt_ns();
+            if wd < est {
+                fr.watchdog_warning = Some(format!(
+                    "watchdog_ns = {wd} is below the estimated worst-case \
+                     PR round trip of {est} ns; expect spurious restarts"
+                ));
+            }
+        }
+        let dropped_packets = fr.total_dropped();
+        let faults = if self.cfg.faults.is_active() || wd > 0 {
+            Some(fr)
+        } else {
+            None
+        };
         SimReport {
             k,
             nodes,
@@ -1107,11 +1419,12 @@ impl<'a> World<'a> {
             line_rate_bps: self.cfg.link.bandwidth_bps,
             functional_check_passed: functional,
             events,
-            dropped_packets: self.dropped_packets,
+            dropped_packets,
             pr_latency: self.pr_latency,
             max_link_backlog_bytes: max_backlog,
             hot_links,
             audit_digest,
+            faults,
         }
     }
 }
@@ -1121,18 +1434,22 @@ impl<'a> World<'a> {
 ///
 /// # Panics
 ///
-/// Panics if the workload's node count differs from the topology's.
+/// Panics if the workload's node count differs from the topology's, or if
+/// the configuration fails [`ClusterConfig::validate`] (e.g. packet loss
+/// configured without a watchdog).
 ///
 /// # Example
 ///
 /// See the crate-level example.
 pub fn simulate(cfg: &ClusterConfig, wl: &CommWorkload) -> SimReport {
-    assert!(
-        cfg.faults.loss_rate == 0.0 || cfg.faults.watchdog_ns > 0,
-        "packet loss without a watchdog would hang the kernel (see §7.1)"
-    );
+    if let Err(e) = cfg.validate() {
+        panic!("invalid cluster config: {e}");
+    }
     let mut world = World::new(cfg, wl);
     let mut engine: Engine<Event> = Engine::new();
+    for (t, action) in std::mem::take(&mut world.pending_transitions) {
+        engine.schedule(t, Event::FaultTransition { action });
+    }
     for node in 0..wl.nodes() {
         if !wl.stream(node).is_empty() {
             engine.schedule(SimTime::ZERO, Event::HostIssue { node });

@@ -25,16 +25,21 @@ use crate::time::SimTime;
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-/// A named issue/resolve ledger: `issued` must equal `resolved` at the end
-/// of a fault-free run.
+/// A named conservation ledger. Every opened entry must eventually be
+/// *resolved* (completed normally) or *abandoned* (explicitly given up —
+/// e.g. a watchdog discarding the outstanding PRs of a timed-out command),
+/// so at the end of a run `issued == resolved + abandoned + outstanding`
+/// holds even under fault injection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Ledger {
     /// Ledger name (e.g. `"pr"`).
     pub name: &'static str,
     /// Entries opened.
     pub issued: u64,
-    /// Entries closed.
+    /// Entries closed normally.
     pub resolved: u64,
+    /// Entries explicitly given up (fault recovery).
+    pub abandoned: u64,
 }
 
 /// Watches one simulation run for invariant violations; see the module
@@ -138,6 +143,7 @@ impl Auditor {
                 name,
                 issued: 0,
                 resolved: 0,
+                abandoned: 0,
             });
             let last = self.ledgers.len() - 1;
             &mut self.ledgers[last]
@@ -161,10 +167,42 @@ impl Auditor {
         let l = self.ledger_mut(name);
         l.resolved += 1;
         assert!(
-            l.resolved <= l.issued,
-            "audit: ledger `{}` over-resolved: {} resolved vs {} issued",
+            l.resolved + l.abandoned <= l.issued,
+            "audit: ledger `{}` over-resolved: {} resolved + {} abandoned vs {} issued",
             l.name,
             l.resolved,
+            l.abandoned,
+            l.issued
+        );
+    }
+
+    /// Abandons one entry on `name`'s ledger (fault recovery explicitly
+    /// giving up on an issued entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledger would go negative.
+    #[inline]
+    pub fn abandon(&mut self, name: &'static str) {
+        self.abandon_n(name, 1);
+    }
+
+    /// Abandons `n` entries at once (e.g. a watchdog discarding every
+    /// outstanding PR of a command).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledger would go negative.
+    #[inline]
+    pub fn abandon_n(&mut self, name: &'static str, n: u64) {
+        let l = self.ledger_mut(name);
+        l.abandoned += n;
+        assert!(
+            l.resolved + l.abandoned <= l.issued,
+            "audit: ledger `{}` over-abandoned: {} resolved + {} abandoned vs {} issued",
+            l.name,
+            l.resolved,
+            l.abandoned,
             l.issued
         );
     }
@@ -189,11 +227,40 @@ impl Auditor {
             .find(|l| l.name == name)
             .unwrap_or_else(|| panic!("audit: ledger `{name}` was never touched"));
         assert!(
-            l.issued == l.resolved,
-            "audit: ledger `{}` imbalanced: {} issued vs {} resolved",
+            l.issued == l.resolved && l.abandoned == 0,
+            "audit: ledger `{}` imbalanced: {} issued vs {} resolved ({} abandoned)",
             l.name,
             l.issued,
-            l.resolved
+            l.resolved,
+            l.abandoned
+        );
+    }
+
+    /// Asserts loss-aware conservation on `name`'s ledger:
+    /// `issued == resolved + abandoned + outstanding`. This is the check to
+    /// run at end of a *faulted* run, where [`Auditor::check_balanced`]
+    /// does not apply: every issue must still be accounted for, either by a
+    /// normal resolution, an explicit abandonment (watchdog recovery), or
+    /// by still being in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics on imbalance, or if the ledger was never touched.
+    pub fn check_conserved(&self, name: &str, outstanding: u64) {
+        let l = self
+            .ledgers
+            .iter()
+            .find(|l| l.name == name)
+            .unwrap_or_else(|| panic!("audit: ledger `{name}` was never touched"));
+        assert!(
+            l.issued == l.resolved + l.abandoned + outstanding,
+            "audit: ledger `{}` not conserved: {} issued vs {} resolved + {} abandoned \
+             + {} outstanding",
+            l.name,
+            l.issued,
+            l.resolved,
+            l.abandoned,
+            outstanding
         );
     }
 
@@ -267,6 +334,50 @@ mod tests {
     fn over_resolving_panics() {
         let mut a = Auditor::new();
         a.resolve("pr");
+    }
+
+    #[test]
+    fn conservation_holds_with_abandonment() {
+        let mut a = Auditor::new();
+        for _ in 0..10 {
+            a.issue("pr");
+        }
+        for _ in 0..6 {
+            a.resolve("pr");
+        }
+        a.abandon_n("pr", 3);
+        a.check_conserved("pr", 1); // one still outstanding
+        let l = a.ledger("pr").unwrap();
+        assert_eq!((l.issued, l.resolved, l.abandoned), (10, 6, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "not conserved")]
+    fn lost_entry_breaks_conservation() {
+        let mut a = Auditor::new();
+        a.issue("pr");
+        a.issue("pr");
+        a.resolve("pr");
+        // The second entry vanished: neither resolved, abandoned, nor
+        // claimed outstanding.
+        a.check_conserved("pr", 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-abandoned")]
+    fn over_abandoning_panics() {
+        let mut a = Auditor::new();
+        a.issue("pr");
+        a.abandon_n("pr", 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "imbalanced")]
+    fn balanced_check_rejects_abandonment() {
+        let mut a = Auditor::new();
+        a.issue("pr");
+        a.abandon("pr");
+        a.check_balanced("pr");
     }
 
     #[test]

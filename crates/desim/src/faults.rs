@@ -1,0 +1,321 @@
+//! Packet-loss processes for fault injection.
+//!
+//! The paper's §7.1 treats loss as rare independent hardware failure; real
+//! deployments also see *correlated* loss bursts (a flapping optic, a
+//! congested failure domain, an FEC storm). This module provides both
+//! shapes behind one interface:
+//!
+//! - [`LossModel::Bernoulli`] — the classic independent per-packet drop,
+//! - [`LossModel::GilbertElliott`] — the standard two-state burst-loss
+//!   Markov chain: a *good* state with low (usually zero) loss and a *bad*
+//!   state with high loss, with geometric sojourn times in each.
+//!
+//! A [`LossProcess`] owns the model, a seeded [`SplitMix64`] stream and the
+//! burst bookkeeping (current run of consecutive drops, plus a histogram of
+//! completed burst lengths for the fault report). Like everything in the
+//! stack it is bit-deterministic in its seed.
+
+use crate::rng::SplitMix64;
+use crate::stats::Histogram;
+
+/// A packet-loss model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossModel {
+    /// No loss ever.
+    None,
+    /// Independent per-packet loss with probability `rate`.
+    Bernoulli {
+        /// Drop probability per packet.
+        rate: f64,
+    },
+    /// The Gilbert–Elliott two-state chain. Each packet first advances the
+    /// state (good→bad with `p_enter_burst`, bad→good with
+    /// `p_exit_burst`), then drops with the state's loss probability.
+    GilbertElliott {
+        /// Probability of entering the bad state per packet.
+        p_enter_burst: f64,
+        /// Probability of leaving the bad state per packet (mean burst
+        /// length of bad-state packets is `1 / p_exit_burst`).
+        p_exit_burst: f64,
+        /// Drop probability while in the good state (usually 0).
+        loss_good: f64,
+        /// Drop probability while in the bad state (usually near 1).
+        loss_bad: f64,
+    },
+}
+
+impl LossModel {
+    /// Whether this model can ever drop a packet.
+    pub fn is_lossy(&self) -> bool {
+        match *self {
+            LossModel::None => false,
+            LossModel::Bernoulli { rate } => rate > 0.0,
+            LossModel::GilbertElliott {
+                loss_good,
+                loss_bad,
+                ..
+            } => loss_good > 0.0 || loss_bad > 0.0,
+        }
+    }
+
+    /// The stationary (long-run) packet-loss rate of the model.
+    pub fn expected_loss_rate(&self) -> f64 {
+        match *self {
+            LossModel::None => 0.0,
+            LossModel::Bernoulli { rate } => rate,
+            LossModel::GilbertElliott {
+                p_enter_burst,
+                p_exit_burst,
+                loss_good,
+                loss_bad,
+            } => {
+                let denom = p_enter_burst + p_exit_burst;
+                if denom == 0.0 {
+                    return loss_good;
+                }
+                let pi_bad = p_enter_burst / denom;
+                (1.0 - pi_bad) * loss_good + pi_bad * loss_bad
+            }
+        }
+    }
+
+    /// The mean sojourn in the bad state, in packets (the model's burst
+    /// scale). `1.0` for [`LossModel::Bernoulli`] (no memory).
+    pub fn mean_burst_packets(&self) -> f64 {
+        match *self {
+            LossModel::None | LossModel::Bernoulli { .. } => 1.0,
+            LossModel::GilbertElliott { p_exit_burst, .. } => {
+                if p_exit_burst > 0.0 {
+                    1.0 / p_exit_burst
+                } else {
+                    f64::INFINITY
+                }
+            }
+        }
+    }
+}
+
+/// A running loss process: model + RNG stream + burst accounting.
+///
+/// # Example
+///
+/// ```
+/// use netsparse_desim::{LossModel, LossProcess};
+///
+/// let model = LossModel::GilbertElliott {
+///     p_enter_burst: 0.01,
+///     p_exit_burst: 0.25,
+///     loss_good: 0.0,
+///     loss_bad: 0.9,
+/// };
+/// let mut a = LossProcess::new(model, 7);
+/// let mut b = LossProcess::new(model, 7);
+/// let drops = (0..1000).filter(|_| a.drop_packet()).count();
+/// assert_eq!(drops, (0..1000).filter(|_| b.drop_packet()).count());
+/// assert!(drops > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LossProcess {
+    model: LossModel,
+    rng: SplitMix64,
+    in_bad_state: bool,
+    current_burst: u64,
+    bursts: Histogram,
+    drops: u64,
+    offered: u64,
+}
+
+impl LossProcess {
+    /// Creates a process for `model` seeded with `seed`.
+    pub fn new(model: LossModel, seed: u64) -> Self {
+        LossProcess {
+            model,
+            rng: SplitMix64::new(seed),
+            in_bad_state: false,
+            current_burst: 0,
+            bursts: Histogram::new(),
+            drops: 0,
+            offered: 0,
+        }
+    }
+
+    /// The model in use.
+    pub fn model(&self) -> &LossModel {
+        &self.model
+    }
+
+    /// Decides the fate of one packet: `true` means drop. Advances the
+    /// model state and the burst accounting.
+    pub fn drop_packet(&mut self) -> bool {
+        self.offered += 1;
+        let p_drop = match self.model {
+            LossModel::None => {
+                self.close_burst();
+                return false;
+            }
+            LossModel::Bernoulli { rate } => rate,
+            LossModel::GilbertElliott {
+                p_enter_burst,
+                p_exit_burst,
+                loss_good,
+                loss_bad,
+            } => {
+                if self.in_bad_state {
+                    if self.rng.chance(p_exit_burst) {
+                        self.in_bad_state = false;
+                    }
+                } else if self.rng.chance(p_enter_burst) {
+                    self.in_bad_state = true;
+                }
+                if self.in_bad_state {
+                    loss_bad
+                } else {
+                    loss_good
+                }
+            }
+        };
+        let dropped = p_drop > 0.0 && self.rng.chance(p_drop);
+        if dropped {
+            self.drops += 1;
+            self.current_burst += 1;
+        } else {
+            self.close_burst();
+        }
+        dropped
+    }
+
+    fn close_burst(&mut self) {
+        if self.current_burst > 0 {
+            self.bursts.record(self.current_burst);
+            self.current_burst = 0;
+        }
+    }
+
+    /// Packets offered to the process so far.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Packets dropped so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// The distribution of completed drop-burst lengths (runs of
+    /// consecutive drops). Call [`LossProcess::finish`] first so a burst
+    /// in progress at end of run is included.
+    pub fn burst_lengths(&self) -> &Histogram {
+        &self.bursts
+    }
+
+    /// Closes any burst in progress (end of run).
+    pub fn finish(&mut self) {
+        self.close_burst();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_drops() {
+        let mut p = LossProcess::new(LossModel::None, 1);
+        assert!((0..10_000).all(|_| !p.drop_packet()));
+        assert_eq!(p.drops(), 0);
+        assert!(!LossModel::None.is_lossy());
+    }
+
+    #[test]
+    fn bernoulli_hits_its_rate() {
+        let model = LossModel::Bernoulli { rate: 0.03 };
+        let mut p = LossProcess::new(model, 42);
+        let n = 200_000;
+        for _ in 0..n {
+            p.drop_packet();
+        }
+        let rate = p.drops() as f64 / n as f64;
+        assert!((rate - 0.03).abs() < 0.005, "rate {rate}");
+        assert!((model.expected_loss_rate() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gilbert_elliott_hits_rate_and_burst_length() {
+        let model = LossModel::GilbertElliott {
+            p_enter_burst: 0.005,
+            p_exit_burst: 0.2,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        let mut p = LossProcess::new(model, 9);
+        let n = 400_000;
+        for _ in 0..n {
+            p.drop_packet();
+        }
+        p.finish();
+        let rate = p.drops() as f64 / n as f64;
+        let expect = model.expected_loss_rate();
+        assert!(
+            (rate - expect).abs() < expect * 0.15,
+            "rate {rate} vs expected {expect}"
+        );
+        // With loss_bad = 1, drop bursts are exactly bad-state sojourns:
+        // mean 1 / p_exit = 5 packets.
+        let mean_burst = p.burst_lengths().mean();
+        assert!(
+            (mean_burst - 5.0).abs() < 0.75,
+            "mean burst {mean_burst} vs 5"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_bursts_are_longer_than_bernoulli() {
+        // Same long-run rate, very different correlation structure.
+        let ge = LossModel::GilbertElliott {
+            p_enter_burst: 0.002,
+            p_exit_burst: 0.1,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        let bern = LossModel::Bernoulli {
+            rate: ge.expected_loss_rate(),
+        };
+        let run = |m: LossModel| {
+            let mut p = LossProcess::new(m, 77);
+            for _ in 0..300_000 {
+                p.drop_packet();
+            }
+            p.finish();
+            p.burst_lengths().mean()
+        };
+        assert!(run(ge) > 2.0 * run(bern));
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical_and_seeds_diverge() {
+        let model = LossModel::GilbertElliott {
+            p_enter_burst: 0.01,
+            p_exit_burst: 0.3,
+            loss_good: 0.001,
+            loss_bad: 0.8,
+        };
+        let trace = |seed: u64| -> Vec<bool> {
+            let mut p = LossProcess::new(model, seed);
+            (0..5_000).map(|_| p.drop_packet()).collect()
+        };
+        assert_eq!(trace(5), trace(5));
+        assert_ne!(trace(5), trace(6));
+    }
+
+    #[test]
+    fn mean_burst_helper() {
+        let ge = LossModel::GilbertElliott {
+            p_enter_burst: 0.01,
+            p_exit_burst: 0.25,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        assert!((ge.mean_burst_packets() - 4.0).abs() < 1e-12);
+        assert_eq!(LossModel::Bernoulli { rate: 0.5 }.mean_burst_packets(), 1.0);
+    }
+}

@@ -38,12 +38,14 @@
 
 pub mod audit;
 pub mod engine;
+pub mod faults;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use audit::Auditor;
 pub use engine::{Engine, EventQueue, Scheduler};
+pub use faults::{LossModel, LossProcess};
 pub use rng::SplitMix64;
 pub use stats::{Counter, Histogram, RateMeter, Reservoir, TimeSeries};
 pub use time::{Clock, SimTime};

@@ -16,7 +16,7 @@
 //! Property Cache's read/response paths match); every `(src, dst)` pair has
 //! exactly one path, precomputed at construction.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -180,6 +180,102 @@ impl Topology {
             Topology::HyperX { .. } | Topology::Dragonfly { .. } => true,
         }
     }
+
+    /// How many distinct deterministic route choices each `(src, dst)`
+    /// pair has — the fan the failover logic walks (ECMP-style
+    /// next-choice). Choice 0 is the primary route of [`Network::path`].
+    pub fn route_choices(&self) -> u32 {
+        match *self {
+            // One choice per spine.
+            Topology::LeafSpine { spines, .. } => spines.max(1),
+            // One choice per dimension-correction order.
+            Topology::HyperX { .. } => DIM_ORDERS.len() as u32,
+            // One choice per global link between the group pair.
+            Topology::Dragonfly {
+                global_links_per_pair,
+                ..
+            } => global_links_per_pair.max(1),
+        }
+    }
+}
+
+/// The six dimension-correction orders HyperX failover rotates through.
+const DIM_ORDERS: [[usize; 3]; 6] = [
+    [0, 1, 2],
+    [0, 2, 1],
+    [1, 0, 2],
+    [1, 2, 0],
+    [2, 0, 1],
+    [2, 1, 0],
+];
+
+/// The set of currently failed network elements.
+///
+/// A dead switch implicitly kills every link attached to it; the set only
+/// records the switch. Links can also die individually (a cut fiber with
+/// both switches alive).
+///
+/// # Example
+///
+/// ```
+/// use netsparse_netsim::{topology::FailureSet, Network, SwitchId, Topology};
+///
+/// let net = Network::new(Topology::leaf_spine_128());
+/// let mut down = FailureSet::new();
+/// down.fail_switch(SwitchId(8)); // first spine
+/// // Traffic re-routes around the dead spine deterministically.
+/// let p = net.failover_path(0, 16, &down).expect("other spines live");
+/// assert!(p.switches().all(|s| s != SwitchId(8)));
+/// down.repair_switch(SwitchId(8));
+/// assert!(down.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureSet {
+    dead_links: BTreeSet<LinkId>,
+    dead_switches: BTreeSet<SwitchId>,
+}
+
+impl FailureSet {
+    /// An empty (fully healthy) set.
+    pub fn new() -> Self {
+        FailureSet::default()
+    }
+
+    /// Marks a directed link dead.
+    pub fn fail_link(&mut self, l: LinkId) {
+        self.dead_links.insert(l);
+    }
+
+    /// Repairs a directed link.
+    pub fn repair_link(&mut self, l: LinkId) {
+        self.dead_links.remove(&l);
+    }
+
+    /// Marks a switch dead (all its links become unusable).
+    pub fn fail_switch(&mut self, s: SwitchId) {
+        self.dead_switches.insert(s);
+    }
+
+    /// Repairs a switch.
+    pub fn repair_switch(&mut self, s: SwitchId) {
+        self.dead_switches.remove(&s);
+    }
+
+    /// Whether everything is healthy.
+    pub fn is_empty(&self) -> bool {
+        self.dead_links.is_empty() && self.dead_switches.is_empty()
+    }
+
+    /// Whether link `l` itself is marked dead (switch deaths not
+    /// considered; see [`Network::path_is_usable`]).
+    pub fn link_dead(&self, l: LinkId) -> bool {
+        self.dead_links.contains(&l)
+    }
+
+    /// Whether switch `s` is dead.
+    pub fn switch_dead(&self, s: SwitchId) -> bool {
+        self.dead_switches.contains(&s)
+    }
 }
 
 /// A constructed network: topology + link registry + all-pairs paths.
@@ -257,6 +353,135 @@ impl Network {
         assert!(src < self.nodes && dst < self.nodes, "node out of range");
         assert_ne!(src, dst, "no path from a node to itself");
         &self.paths[(src * self.nodes + dst) as usize]
+    }
+
+    /// Looks up the directed link between two adjacent elements, if the
+    /// topology has one.
+    pub fn find_link(&self, from: Element, to: Element) -> Option<LinkId> {
+        self.link_index.get(&(from, to)).copied()
+    }
+
+    /// The `choice`-th deterministic route from `src` to `dst` (ECMP-style:
+    /// choice 0 is the primary route returned by [`Network::path`], higher
+    /// choices rotate through the topology's alternatives — see
+    /// [`Topology::route_choices`]). Returns `None` only if the requested
+    /// route would traverse a link the topology does not have, which cannot
+    /// happen for `choice < route_choices()` on a well-formed network.
+    pub fn path_with_choice(&self, src: u32, dst: u32, choice: u32) -> Option<Path> {
+        assert!(src < self.nodes && dst < self.nodes, "node out of range");
+        assert_ne!(src, dst, "no path from a node to itself");
+        let elems = self.route_elems(src, dst, choice);
+        let mut hops = Vec::with_capacity(elems.len() - 1);
+        for w in 0..elems.len() - 1 {
+            let link = self.find_link(elems[w], elems[w + 1])?;
+            hops.push(Hop {
+                link,
+                to: elems[w + 1],
+            });
+        }
+        Some(Path { hops })
+    }
+
+    /// Whether every hop of `path` survives `failures`: no dead link, and
+    /// no dead switch at either end of any hop.
+    pub fn path_is_usable(&self, path: &Path, failures: &FailureSet) -> bool {
+        path.hops.iter().all(|h| {
+            if failures.link_dead(h.link) {
+                return false;
+            }
+            let (from, to) = self.link_ends(h.link);
+            let alive = |e: Element| match e {
+                Element::Switch(s) => !failures.switch_dead(s),
+                Element::Nic(_) => true,
+            };
+            alive(from) && alive(to)
+        })
+    }
+
+    /// The first route choice from `src` to `dst` that survives `failures`
+    /// — deterministic next-choice failover. With an empty failure set this
+    /// is exactly [`Network::path`]. Returns `None` when every choice is
+    /// severed (e.g. the destination's edge switch is dead), in which case
+    /// the caller must escalate rather than route.
+    pub fn failover_path(&self, src: u32, dst: u32, failures: &FailureSet) -> Option<Path> {
+        for choice in 0..self.topo.route_choices() {
+            if let Some(p) = self.path_with_choice(src, dst, choice) {
+                if self.path_is_usable(&p, failures) {
+                    return Some(p);
+                }
+            }
+        }
+        None
+    }
+
+    /// The element sequence (NIC, switches, NIC) of the `choice`-th route.
+    /// Choice 0 reproduces the primary deterministic route exactly.
+    fn route_elems(&self, src: u32, dst: u32, choice: u32) -> Vec<Element> {
+        let mut elems: Vec<Element> = vec![Element::Nic(src)];
+        let s_src = self.topo.edge_switch_of(src);
+        let s_dst = self.topo.edge_switch_of(dst);
+        elems.push(Element::Switch(s_src));
+        if s_src != s_dst {
+            match self.topo {
+                Topology::LeafSpine { racks, spines, .. } => {
+                    // Deterministic destination-based spine selection,
+                    // rotated by the failover choice.
+                    let spine = racks + (dst % spines + choice) % spines;
+                    elems.push(Element::Switch(SwitchId(spine)));
+                    elems.push(Element::Switch(s_dst));
+                }
+                Topology::HyperX { dims, .. } => {
+                    let coord = |s: SwitchId| -> [u32; 3] {
+                        [
+                            s.0 % dims[0],
+                            (s.0 / dims[0]) % dims[1],
+                            s.0 / (dims[0] * dims[1]),
+                        ]
+                    };
+                    let idx = |c: [u32; 3]| SwitchId(c[0] + dims[0] * (c[1] + dims[1] * c[2]));
+                    let mut cur = coord(s_src);
+                    let target = coord(s_dst);
+                    // Dimension-ordered; the failover choice permutes the
+                    // correction order (choice 0 = x, y, z as before).
+                    let order = DIM_ORDERS[choice as usize % DIM_ORDERS.len()];
+                    for d in order {
+                        if cur[d] != target[d] {
+                            cur[d] = target[d];
+                            elems.push(Element::Switch(idx(cur)));
+                        }
+                    }
+                }
+                Topology::Dragonfly {
+                    switches_per_group,
+                    global_links_per_pair,
+                    ..
+                } => {
+                    let spg = switches_per_group;
+                    let (g_src, _) = (s_src.0 / spg, s_src.0 % spg);
+                    let (g_dst, _) = (s_dst.0 / spg, s_dst.0 % spg);
+                    if g_src == g_dst {
+                        elems.push(Element::Switch(s_dst));
+                    } else {
+                        // Deterministic global-link choice by destination,
+                        // rotated by the failover choice.
+                        let k = (dst % global_links_per_pair + choice) % global_links_per_pair;
+                        let gw_a = gateway(g_src, g_dst, k, spg, global_links_per_pair);
+                        let gw_b = gateway(g_dst, g_src, k, spg, global_links_per_pair);
+                        let gw_a = SwitchId(g_src * spg + gw_a);
+                        let gw_b = SwitchId(g_dst * spg + gw_b);
+                        if gw_a != s_src {
+                            elems.push(Element::Switch(gw_a));
+                        }
+                        elems.push(Element::Switch(gw_b));
+                        if gw_b != s_dst {
+                            elems.push(Element::Switch(s_dst));
+                        }
+                    }
+                }
+            }
+        }
+        elems.push(Element::Nic(dst));
+        elems
     }
 
     fn link(&mut self, from: Element, to: Element) -> LinkId {
@@ -361,70 +586,20 @@ impl Network {
         self.paths = paths;
     }
 
-    fn compute_path(&mut self, src: u32, dst: u32) -> Path {
-        let mut elems: Vec<Element> = vec![Element::Nic(src)];
-        let s_src = self.topo.edge_switch_of(src);
-        let s_dst = self.topo.edge_switch_of(dst);
-        elems.push(Element::Switch(s_src));
-        if s_src != s_dst {
-            match self.topo {
-                Topology::LeafSpine { racks, spines, .. } => {
-                    // Deterministic destination-based spine selection.
-                    let spine = racks + dst % spines;
-                    elems.push(Element::Switch(SwitchId(spine)));
-                    elems.push(Element::Switch(s_dst));
-                }
-                Topology::HyperX { dims, .. } => {
-                    let coord = |s: SwitchId| -> [u32; 3] {
-                        [
-                            s.0 % dims[0],
-                            (s.0 / dims[0]) % dims[1],
-                            s.0 / (dims[0] * dims[1]),
-                        ]
-                    };
-                    let idx = |c: [u32; 3]| SwitchId(c[0] + dims[0] * (c[1] + dims[1] * c[2]));
-                    let mut cur = coord(s_src);
-                    let target = coord(s_dst);
-                    // Dimension-ordered: correct x, then y, then z.
-                    for d in 0..3 {
-                        if cur[d] != target[d] {
-                            cur[d] = target[d];
-                            elems.push(Element::Switch(idx(cur)));
-                        }
-                    }
-                }
-                Topology::Dragonfly {
-                    switches_per_group,
-                    global_links_per_pair,
-                    ..
-                } => {
-                    let spg = switches_per_group;
-                    let (g_src, _) = (s_src.0 / spg, s_src.0 % spg);
-                    let (g_dst, _) = (s_dst.0 / spg, s_dst.0 % spg);
-                    if g_src == g_dst {
-                        elems.push(Element::Switch(s_dst));
-                    } else {
-                        // Deterministic global-link choice by destination.
-                        let k = dst % global_links_per_pair;
-                        let gw_a = gateway(g_src, g_dst, k, spg, global_links_per_pair);
-                        let gw_b = gateway(g_dst, g_src, k, spg, global_links_per_pair);
-                        let gw_a = SwitchId(g_src * spg + gw_a);
-                        let gw_b = SwitchId(g_dst * spg + gw_b);
-                        if gw_a != s_src {
-                            elems.push(Element::Switch(gw_a));
-                        }
-                        elems.push(Element::Switch(gw_b));
-                        if gw_b != s_dst {
-                            elems.push(Element::Switch(s_dst));
-                        }
-                    }
-                }
-            }
-        }
-        elems.push(Element::Nic(dst));
+    fn compute_path(&self, src: u32, dst: u32) -> Path {
+        // All links already exist from `build_links`; a hole here is a
+        // construction bug, so fail loudly at build time.
+        let elems = self.route_elems(src, dst, 0);
         let mut hops = Vec::with_capacity(elems.len() - 1);
         for w in 0..elems.len() - 1 {
-            let link = self.link(elems[w], elems[w + 1]);
+            let link = match self.find_link(elems[w], elems[w + 1]) {
+                Some(l) => l,
+                None => panic!(
+                    "topology bug: no link {:?} -> {:?} on route {src}->{dst}",
+                    elems[w],
+                    elems[w + 1]
+                ),
+            };
             hops.push(Hop {
                 link,
                 to: elems[w + 1],
@@ -569,5 +744,106 @@ mod tests {
     fn self_path_panics() {
         let net = Network::new(Topology::leaf_spine_128());
         net.path(3, 3);
+    }
+
+    #[test]
+    fn choice_zero_matches_primary_route() {
+        for t in all_topos() {
+            let net = Network::new(t);
+            for (src, dst) in [(0, 17), (5, 99), (127, 1), (3, 4)] {
+                assert_eq!(
+                    net.path_with_choice(src, dst, 0).unwrap(),
+                    *net.path(src, dst),
+                    "{t:?} {src}->{dst}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_choice_yields_a_contiguous_route() {
+        for t in all_topos() {
+            let net = Network::new(t);
+            for src in [0, 40] {
+                for dst in [17, 127] {
+                    if src == dst {
+                        continue;
+                    }
+                    for c in 0..t.route_choices() {
+                        let p = net
+                            .path_with_choice(src, dst, c)
+                            .unwrap_or_else(|| panic!("{t:?} {src}->{dst} choice {c}"));
+                        let mut cur = Element::Nic(src);
+                        for h in &p.hops {
+                            let (a, b) = net.link_ends(h.link);
+                            assert_eq!(a, cur);
+                            assert_eq!(b, h.to);
+                            cur = b;
+                        }
+                        assert_eq!(cur, Element::Nic(dst));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failover_avoids_dead_spine_deterministically() {
+        let net = Network::new(Topology::leaf_spine_128());
+        // Primary route 0 -> 16 goes through spine 8 + 16 % 16 = 8.
+        let primary = net.path(0, 16);
+        let spine = primary.switches().nth(1).unwrap();
+        assert!(!net.topology().is_edge_switch(spine));
+
+        let mut down = FailureSet::new();
+        down.fail_switch(spine);
+        let p = net.failover_path(0, 16, &down).unwrap();
+        assert!(p.switches().all(|s| s != spine));
+        // Same hop count: leaf-spine alternatives are equal length.
+        assert_eq!(p.hops.len(), primary.hops.len());
+        // Deterministic: repeated queries agree.
+        assert_eq!(p, net.failover_path(0, 16, &down).unwrap());
+        // Repair restores the primary route.
+        down.repair_switch(spine);
+        assert_eq!(net.failover_path(0, 16, &down).unwrap(), *primary);
+    }
+
+    #[test]
+    fn failover_avoids_dead_link() {
+        for t in all_topos() {
+            let net = Network::new(t);
+            let primary = net.path(0, 127).clone();
+            let mut down = FailureSet::new();
+            // Kill the first switch-to-switch hop of the primary route.
+            let cut = primary.hops[1].link;
+            down.fail_link(cut);
+            let p = net
+                .failover_path(0, 127, &down)
+                .unwrap_or_else(|| panic!("{t:?}"));
+            assert!(p.hops.iter().all(|h| h.link != cut), "{t:?}");
+            assert!(net.path_is_usable(&p, &down), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn dead_edge_switch_severs_destination() {
+        let net = Network::new(Topology::leaf_spine_128());
+        let mut down = FailureSet::new();
+        down.fail_switch(net.edge_switch_of(16));
+        assert!(net.failover_path(0, 16, &down).is_none());
+        // Other racks remain reachable.
+        assert!(net.failover_path(0, 32, &down).is_some());
+    }
+
+    #[test]
+    fn all_spines_dead_severs_inter_rack_only() {
+        let net = Network::new(Topology::leaf_spine_128());
+        let mut down = FailureSet::new();
+        for s in 8..24 {
+            down.fail_switch(SwitchId(s));
+        }
+        assert!(net.failover_path(0, 16, &down).is_none());
+        // Intra-rack traffic never touches a spine.
+        assert!(net.failover_path(0, 1, &down).is_some());
     }
 }

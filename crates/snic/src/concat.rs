@@ -66,6 +66,34 @@ pub struct ConcatPacket {
     /// Total wire bytes (upper + concat headers + per-PR headers +
     /// payloads).
     pub wire_bytes: u64,
+    /// Degraded-mode marker: emitted by a node whose watchdog retry budget
+    /// ran out. Switches forward such packets verbatim — no property-cache
+    /// probe, no reconcatenation — so delivery no longer depends on the
+    /// NetSparse extensions that kept failing (e.g. a dead rack switch on
+    /// the cached path).
+    pub degraded: bool,
+}
+
+impl ConcatPacket {
+    /// Builds a degraded-mode singleton: one PR in its own packet,
+    /// bypassing every concatenation queue, flagged for forward-only
+    /// switch handling.
+    pub fn degraded_singleton(
+        headers: &HeaderSpec,
+        dest: u32,
+        kind: PrKind,
+        pr: Pr,
+        payload: u32,
+    ) -> Self {
+        ConcatPacket {
+            dest,
+            kind,
+            payload_per_pr: payload,
+            wire_bytes: headers.packet_bytes(1, payload),
+            prs: vec![pr],
+            degraded: true,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -287,6 +315,7 @@ impl Concatenator {
             payload_per_pr: payload,
             prs,
             wire_bytes,
+            degraded: false,
         }
     }
 }
@@ -409,6 +438,22 @@ mod tests {
         let pkts = c.flush_expired(SimTime::from_ns(10));
         assert_eq!(pkts[0].wire_bytes, 62 + 5 * (18 + 64));
         assert_eq!(c.prs_per_packet().mean(), 5.0);
+    }
+
+    #[test]
+    fn degraded_singleton_bypasses_queues() {
+        let headers = HeaderSpec::paper();
+        let p = ConcatPacket::degraded_singleton(&headers, 9, PrKind::Response, pr(3), 64);
+        assert!(p.degraded);
+        assert_eq!(p.prs.len(), 1);
+        assert_eq!(p.dest, 9);
+        // Same wire cost as a disabled-concat singleton of equal payload.
+        assert_eq!(p.wire_bytes, headers.packet_bytes(1, 64));
+        // Normal concatenator output is never flagged degraded.
+        let mut c = Concatenator::new(cfg(10));
+        let out = c.push(SimTime::ZERO, 1, PrKind::Read, pr(1), 0);
+        assert!(out.is_none());
+        assert!(c.flush_all().iter().all(|p| !p.degraded));
     }
 
     #[test]

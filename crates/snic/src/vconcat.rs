@@ -314,6 +314,7 @@ impl VirtualConcatenator {
             payload_per_pr: payload,
             prs,
             wire_bytes,
+            degraded: false,
         }
     }
 }

@@ -37,7 +37,12 @@ fn main() {
     let mut base = 0.0f64;
     for loss in [0.0, 0.001, 0.005, 0.02] {
         let mut cfg = ClusterConfig::mini(topo, 16);
-        cfg.faults = FaultConfig::lossy(loss, 50_000, 4);
+        cfg.faults = FaultConfig::builder()
+            .bernoulli_loss(loss)
+            .watchdog_ns(50_000)
+            .seed(4)
+            .build()
+            .expect("sweep config is valid");
         let report = simulate(&cfg, &wl);
         assert!(
             report.functional_check_passed,

@@ -6,8 +6,9 @@
 #
 # Steps: formatting, the simaudit determinism lints (see
 # docs/STATIC_ANALYSIS.md), clippy with the workspace deny-set, the debug
-# test suite (runtime auditor active via debug_assertions), and the tier-1
-# release build + tests.
+# test suite (runtime auditor active via debug_assertions), the tier-1
+# release build + tests, the fault-recovery suite under the release
+# auditor (see docs/FAULTS.md), and an ext_fault_sweep smoke run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +28,10 @@ run cargo test -q
 if [[ "$fast" -eq 0 ]]; then
     run cargo build --release
     run cargo test -q --release
+    # Fault injection + recovery with the runtime invariant auditor on
+    # in release mode (debug runs already audit via debug_assertions).
+    run cargo test -q -p netsparse-tests --features audit --release --test fault_recovery
+    run cargo run --release -q -p netsparse-bench --bin ext_fault_sweep
 fi
 
 echo "ci: all checks passed"

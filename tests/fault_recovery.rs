@@ -1,8 +1,11 @@
 //! §7 extensions under test: packet-loss recovery via the RIG watchdog
-//! (§7.1) and virtualized Concatenation Queues (§7.2).
+//! (§7.1) — including burst loss, link/switch failures, failover routing
+//! and degraded-mode escalation — and virtualized Concatenation Queues
+//! (§7.2).
 
 use netsparse::config::{ConcatImpl, FaultConfig};
 use netsparse::prelude::*;
+use netsparse_desim::LossModel;
 use netsparse_snic::vconcat::{dedicated_sram_bytes, VirtualCqConfig};
 
 fn topo() -> Topology {
@@ -28,7 +31,12 @@ fn lossy_cfg(loss: f64) -> ClusterConfig {
     let mut cfg = ClusterConfig::mini(topo(), 16);
     // Generous watchdog: far above a command's worst-case latency, so it
     // only fires for genuinely lost packets.
-    cfg.faults = FaultConfig::lossy(loss, 100_000, 7);
+    cfg.faults = FaultConfig::builder()
+        .bernoulli_loss(loss)
+        .watchdog_ns(100_000)
+        .seed(7)
+        .build()
+        .expect("test fault config is valid");
     cfg
 }
 
@@ -82,8 +90,193 @@ fn recovery_costs_time() {
 #[should_panic(expected = "watchdog")]
 fn loss_without_watchdog_is_rejected() {
     let mut cfg = ClusterConfig::mini(topo(), 16);
-    cfg.faults.loss_rate = 0.01; // bypasses the FaultConfig constructor
+    // Bypasses the validated builder; simulate() still re-validates.
+    cfg.faults.loss = LossModel::Bernoulli { rate: 0.01 };
     simulate(&cfg, &workload(5));
+}
+
+#[test]
+fn burst_loss_recovers_and_is_seed_deterministic() {
+    let wl = workload(10);
+    let mut cfg = ClusterConfig::mini(topo(), 16);
+    cfg.faults = FaultConfig::builder()
+        .burst_loss(0.02, 0.2, 0.001, 0.2)
+        .watchdog_ns(100_000)
+        .seed(7)
+        .build()
+        .expect("burst config is valid");
+    let a = simulate(&cfg, &wl);
+    let b = simulate(&cfg, &wl);
+    assert!(a.functional_check_passed);
+    let fr = a
+        .faults
+        .as_ref()
+        .expect("faulted run populates FaultReport");
+    assert!(fr.dropped_loss > 0, "burst loss must actually drop packets");
+    assert!(
+        fr.drop_bursts.count() > 0,
+        "drops must be recorded as bursts"
+    );
+    // Same seed: identical trajectory, down to the event digest.
+    assert_eq!(a.comm_time, b.comm_time);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.audit_digest, b.audit_digest);
+    // Different fault seed: a different (but still recovered) trajectory.
+    let mut other = cfg.clone();
+    other.faults.seed = 8;
+    let c = simulate(&other, &wl);
+    assert!(c.functional_check_passed);
+    assert_ne!(
+        (a.comm_time, a.events),
+        (c.comm_time, c.events),
+        "fault randomness must key off the fault seed"
+    );
+}
+
+#[test]
+fn link_failure_triggers_failover_and_recovers() {
+    let wl = workload(11);
+    let mut cfg = ClusterConfig::mini(topo(), 16);
+    // Cut rack 0's uplink to spine 4 (the primary spine for every fourth
+    // destination) mid-run (the clean run drains in ~4 us); ECMP
+    // next-choice reroutes via spines 5..8.
+    cfg.faults = FaultConfig::builder()
+        .fail_link_at(0, 4, 2_000)
+        .watchdog_ns(100_000)
+        .seed(7)
+        .build()
+        .expect("link-failure config is valid");
+    let report = simulate(&cfg, &wl);
+    assert!(
+        report.functional_check_passed,
+        "failover routing must keep every property deliverable"
+    );
+    let fr = report
+        .faults
+        .as_ref()
+        .expect("faulted run populates FaultReport");
+    assert_eq!(fr.fault_transitions, 1);
+    assert!(fr.route_failovers > 0, "routes must actually move");
+}
+
+#[test]
+fn remote_tor_death_escalates_to_degraded_delivery() {
+    let wl = workload(12);
+    let mut cfg = ClusterConfig::mini(topo(), 16);
+    // Rack 1's ToR (and its property cache) dies at 1 us — mid-run, the
+    // clean run drains in ~4 us — and stays dead for 60 us. Commands
+    // fetching from rack 1 burn their 3-retry budget against the
+    // blackhole by ~30 us (4 us watchdog, doubling), escalate to degraded
+    // direct PRs, and finish after the repair — instead of hanging or
+    // panicking. The final-abandon rung (7 restarts, ~500 us) stays far
+    // behind the repair, so no data is given up.
+    cfg.faults = FaultConfig::builder()
+        .fail_switch_transient(1, 1_000, 60_000)
+        .watchdog_ns(4_000)
+        .max_retries(3)
+        .backoff(2.0, 0.1)
+        .seed(7)
+        .build()
+        .expect("transient ToR death config is valid");
+    let report = simulate(&cfg, &wl);
+    assert!(
+        report.functional_check_passed,
+        "delivery must complete once the switch is repaired"
+    );
+    let fr = report
+        .faults
+        .as_ref()
+        .expect("faulted run populates FaultReport");
+    assert_eq!(fr.fault_transitions, 2, "failure and repair both applied");
+    assert!(fr.dropped_dead > 0, "the dead ToR must blackhole packets");
+    assert!(
+        fr.degraded_nodes > 0,
+        "some node must exhaust its retry budget and degrade"
+    );
+    assert!(fr.degraded_prs > 0, "degraded nodes emit singleton PRs");
+}
+
+#[test]
+fn straggler_slows_the_cluster_but_changes_nothing_else() {
+    let wl = workload(13);
+    let clean = simulate(&ClusterConfig::mini(topo(), 16), &wl);
+    let mut cfg = ClusterConfig::mini(topo(), 16);
+    cfg.faults = FaultConfig::builder()
+        .degrade_node(0, 4.0, 0.25)
+        .build()
+        .expect("degradation config is valid");
+    let slow = simulate(&cfg, &wl);
+    assert!(slow.functional_check_passed);
+    assert!(
+        slow.comm_time > clean.comm_time,
+        "a 4x straggler with a quarter-rate NIC cannot be free"
+    );
+    // Pure degradation loses nothing and never trips the watchdog.
+    let fr = slow
+        .faults
+        .as_ref()
+        .expect("degradation populates the report");
+    assert_eq!(fr.total_dropped(), 0);
+    assert_eq!(fr.watchdog_retries, 0);
+    assert_eq!(fr.degraded_nodes, 0, "slow is not escalated");
+}
+
+#[test]
+fn tight_watchdog_surfaces_a_warning() {
+    let wl = workload(14);
+    let mut cfg = ClusterConfig::mini(topo(), 16);
+    let est = cfg.estimated_worst_rtt_ns();
+    cfg.faults = FaultConfig::builder()
+        .watchdog_ns(est / 2)
+        .build()
+        .expect("watchdog-only config is valid");
+    let report = simulate(&cfg, &wl);
+    assert!(report.functional_check_passed);
+    let fr = report
+        .faults
+        .as_ref()
+        .expect("an armed watchdog populates the fault report");
+    let warning = fr
+        .watchdog_warning
+        .as_ref()
+        .expect("a timeout below the worst-case RTT must warn");
+    assert!(warning.contains("watchdog_ns"), "warning: {warning}");
+}
+
+/// The PR's acceptance scenario: burst loss + one spine death + one
+/// straggler on the mini cluster completes functionally, populates the
+/// fault report, and replays bit-identically under the same seed.
+#[test]
+fn combined_faults_meet_the_acceptance_bar() {
+    let wl = workload(15);
+    let mut cfg = ClusterConfig::mini(topo(), 16);
+    cfg.faults = FaultConfig::builder()
+        .burst_loss(0.01, 0.1, 0.001, 0.05)
+        .fail_switch_at(5, 3_000) // spine 5 of ToRs 0..4 / spines 4..8
+        .degrade_node(3, 2.0, 0.5)
+        .watchdog_ns(100_000)
+        .seed(21)
+        .build()
+        .expect("combined scenario is valid");
+    let a = simulate(&cfg, &wl);
+    assert!(a.functional_check_passed);
+    let fr = a
+        .faults
+        .as_ref()
+        .expect("faulted run populates FaultReport");
+    assert!(fr.total_dropped() > 0, "faults must be observable");
+    assert_eq!(fr.fault_transitions, 1);
+    assert!(
+        fr.route_failovers > 0,
+        "the dead spine must be routed around"
+    );
+    let b = simulate(&cfg, &wl);
+    assert_eq!(
+        a.events, b.events,
+        "same-seed rerun must replay identically"
+    );
+    assert_eq!(a.audit_digest, b.audit_digest);
+    assert_eq!(a.comm_time, b.comm_time);
 }
 
 #[test]
