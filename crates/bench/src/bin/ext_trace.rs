@@ -1,0 +1,7 @@
+//! Extension experiment: see `netsparse_bench::tables::ext_trace`.
+//!
+//! Build with `--features trace` (the binary is gated on it).
+fn main() {
+    let o = netsparse_bench::BenchOpts::from_args();
+    print!("{}", netsparse_bench::tables::ext_trace(&o));
+}

@@ -96,6 +96,15 @@ fn main() {
             Box::new(move || netsparse_bench::tables::ext_kernels(&o)),
         ),
     ];
+    #[cfg(feature = "trace")]
+    let sections = {
+        let mut sections = sections;
+        sections.push((
+            "Extension: trace timeline (observability)",
+            Box::new(move || netsparse_bench::tables::ext_trace(&o)),
+        ));
+        sections
+    };
     for (name, f) in sections {
         let t = Instant::now(); // simaudit:allow(no-wall-clock)
         let body = f();

@@ -1206,6 +1206,55 @@ pub fn ext_partition(o: &BenchOpts) -> String {
     out
 }
 
+/// Extension (observability): structured trace capture — per-matrix
+/// record volume, the golden-trace digest, and the kernel's timeline
+/// split into four quartile windows (see `docs/OBSERVABILITY.md`).
+#[cfg(feature = "trace")]
+pub fn ext_trace(o: &BenchOpts) -> String {
+    use netsparse_desim::trace::TimelineMetrics;
+    use netsparse_desim::TraceConfig;
+    let o = o.scaled(0.25);
+    let k = 16;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Extension (observability): trace timeline (K={k}, 4 quartile windows)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>9} {:>7} {:>18} {:>23} {:>23}",
+        "Matrix", "records", "dropped", "digest", "coalesce% (q1..q4)", "cache-hit% (q1..q4)"
+    );
+    for e in all_experiments(&o) {
+        let report = e.run_traced(&mini_cfg(k), TraceConfig::default());
+        let tr = report.trace.as_ref().expect("traced run carries a trace");
+        let tl = TimelineMetrics::derive(&tr.buffer, 4);
+        let pct = |v: &[f64]| {
+            v.iter()
+                .map(|x| format!("{:>5.1}", x * 100.0))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let _ = writeln!(
+            out,
+            "{:<8} {:>9} {:>7} {:#018x} {:>23} {:>23}",
+            e.matrix.name(),
+            tr.buffer.len(),
+            tr.buffer.dropped(),
+            tr.digest,
+            pct(&tl.coalescing_ratio),
+            pct(&tl.cache_hit_rate),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(per-window rates expose warm-up and drain phases invisible in the
+ run-level averages; the digest is the golden-trace fingerprint the
+ regression suite pins)"
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -101,6 +101,13 @@ impl Experiment {
         simulate(cfg, &self.wl)
     }
 
+    /// Runs the simulation with a structured trace capture attached; the
+    /// report's `trace` field carries the buffer, timeline and digest.
+    #[cfg(feature = "trace")]
+    pub fn run_traced(&self, cfg: &ClusterConfig, tcfg: netsparse_desim::TraceConfig) -> SimReport {
+        crate::sim::simulate_traced(cfg, &self.wl, tcfg)
+    }
+
     /// Runs the simulation and compares against the software baselines at
     /// the same line rate (Figure 12's bars for one matrix and K).
     pub fn compare(&self, cfg: &ClusterConfig) -> (CommComparison, SimReport) {

@@ -49,6 +49,8 @@ pub mod sim;
 pub use config::{ClusterConfig, Mechanisms};
 pub use metrics::SimReport;
 pub use sim::simulate;
+#[cfg(feature = "trace")]
+pub use sim::simulate_traced;
 
 /// One-stop imports for examples and benches.
 pub mod prelude {

@@ -144,6 +144,10 @@ pub struct SimReport {
     pub audit_digest: Option<u64>,
     /// Fault-injection observations; `None` when the run was fault-free.
     pub faults: Option<FaultReport>,
+    /// Structured trace capture (`simulate_traced`); `None` for untraced
+    /// runs. Only present when the `trace` feature is enabled.
+    #[cfg(feature = "trace")]
+    pub trace: Option<netsparse_desim::TraceReport>,
 }
 
 /// One heavily loaded link in the run.
@@ -292,6 +296,16 @@ impl fmt::Display for SimReport {
         } else if self.dropped_packets > 0 {
             writeln!(f, "faults: {} packets dropped", self.dropped_packets)?;
         }
+        #[cfg(feature = "trace")]
+        if let Some(tr) = &self.trace {
+            writeln!(
+                f,
+                "trace: {} records ({} dropped), digest {:#018x}",
+                tr.buffer.len(),
+                tr.buffer.dropped(),
+                tr.digest
+            )?;
+        }
         write!(
             f,
             "functional check: {}",
@@ -338,6 +352,8 @@ mod tests {
             hot_links: Vec::new(),
             audit_digest: None,
             faults: None,
+            #[cfg(feature = "trace")]
+            trace: None,
         }
     }
 

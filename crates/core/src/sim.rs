@@ -27,6 +27,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+#[cfg(feature = "trace")]
+use netsparse_desim::trace::{
+    lane, DropReason, TraceConfig, TraceEvent, TraceReport, Tracer, TrackId,
+};
 use netsparse_desim::{Engine, Histogram, LossProcess, Reservoir, Scheduler, SimTime, SplitMix64};
 use netsparse_netsim::topology::FailureSet;
 use netsparse_netsim::{Element, Link, LinkId, Network, SwitchId};
@@ -97,6 +101,14 @@ impl ConcatPoint {
         match self {
             ConcatPoint::Dedicated(c) => c.queued_prs(),
             ConcatPoint::Virtual(c) => c.queued_prs(),
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    fn set_tracer(&mut self, tracer: Tracer, track: TrackId) {
+        match self {
+            ConcatPoint::Dedicated(c) => c.set_tracer(tracer, track),
+            ConcatPoint::Virtual(c) => c.set_tracer(tracer, track),
         }
     }
 }
@@ -260,6 +272,10 @@ struct World<'a> {
     /// in debug builds or under the `audit` feature.
     #[cfg(any(debug_assertions, feature = "audit"))]
     audit: netsparse_desim::Auditor,
+    /// Structured tracer; attached by [`simulate_traced`], absent (and the
+    /// field itself compiled out) in default builds.
+    #[cfg(feature = "trace")]
+    tracer: Option<Tracer>,
 }
 
 impl<'a> World<'a> {
@@ -493,6 +509,41 @@ impl<'a> World<'a> {
             pr_latency: Reservoir::new(4_096, 0x01A7_E0C1),
             #[cfg(any(debug_assertions, feature = "audit"))]
             audit: netsparse_desim::Auditor::new(),
+            #[cfg(feature = "trace")]
+            tracer: None,
+        }
+    }
+
+    /// Wires `tracer` into every instrumented component: RIG units, NIC
+    /// and switch concatenation points, Property-Cache banks, and the
+    /// *network* links (PCIe links are excluded so that the sum of
+    /// `link_tx` bytes replays to exactly `total_link_bytes`).
+    #[cfg(feature = "trace")]
+    fn attach_tracer(&mut self, tracer: &Tracer) {
+        for (p, st) in self.nodes.iter_mut().enumerate() {
+            for u in &mut st.units {
+                u.rig.set_tracer(tracer.clone());
+            }
+            st.concat
+                .set_tracer(tracer.clone(), TrackId::node(p as u32, lane::CONCAT));
+        }
+        for (s, st) in self.switches.iter_mut().enumerate() {
+            st.concat
+                .set_tracer(tracer.clone(), TrackId::switch(s as u32, lane::CONCAT));
+            st.pipes
+                .set_tracer(tracer.clone(), TrackId::switch(s as u32, lane::CACHE));
+        }
+        for (i, link) in self.links.iter_mut().enumerate() {
+            link.set_tracer(tracer.clone(), TrackId::link(i as u32));
+        }
+        self.tracer = Some(tracer.clone());
+    }
+
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn trace(&self, track: TrackId, event: TraceEvent) {
+        if let Some(tr) = &self.tracer {
+            tr.record(track, event);
         }
     }
 
@@ -530,10 +581,26 @@ impl<'a> World<'a> {
         // the watchdog recovers the PRs it carried.
         let Some((link, to)) = self.from_switch[sw as usize][pkt.dest as usize] else {
             self.faults.dropped_dead += 1;
+            #[cfg(feature = "trace")]
+            self.trace(
+                TrackId::switch(sw, lane::FAULT),
+                TraceEvent::PacketDropped {
+                    reason: DropReason::Dead,
+                    prs: pkt.prs.len() as u32,
+                },
+            );
             return;
         };
         if self.failures.link_dead(link) {
             self.faults.dropped_dead += 1;
+            #[cfg(feature = "trace")]
+            self.trace(
+                TrackId::switch(sw, lane::FAULT),
+                TraceEvent::PacketDropped {
+                    reason: DropReason::Dead,
+                    prs: pkt.prs.len() as u32,
+                },
+            );
             return;
         }
         let bytes = pkt.wire_bytes;
@@ -560,7 +627,16 @@ impl<'a> World<'a> {
             FaultAction::RepairLink(l) => self.failures.repair_link(l),
         }
         self.faults.fault_transitions += 1;
+        #[cfg(feature = "trace")]
+        let failovers_before = self.faults.route_failovers;
         self.rebuild_routes();
+        #[cfg(feature = "trace")]
+        self.trace(
+            TrackId::cluster(),
+            TraceEvent::FaultApplied {
+                failovers: (self.faults.route_failovers - failovers_before) as u32,
+            },
+        );
     }
 
     /// Recomputes every (switch, dest) forwarding entry over the surviving
@@ -655,6 +731,15 @@ impl<'a> World<'a> {
         let end = (start + batch).min(stream_len);
         st.stream_pos = end;
         st.active_cmds += 1;
+        #[cfg(feature = "trace")]
+        self.trace(
+            TrackId::node(node, lane::HOST),
+            TraceEvent::CmdIssued {
+                unit: unit_id as u16,
+                idxs: (end - start) as u32,
+            },
+        );
+        let st = &mut self.nodes[node as usize];
         // Idx batch DMA: the unit starts once the first Idx Buffer chunk
         // has crossed PCIe; the full batch is charged to the link.
         let bytes = (end - start) as u64 * 4;
@@ -841,6 +926,12 @@ impl<'a> World<'a> {
         unit.received_this_cmd.clear();
         unit.cmd_retries = 0;
         st.active_cmds -= 1;
+        #[cfg(feature = "trace")]
+        self.trace(
+            TrackId::node(node, lane::HOST),
+            TraceEvent::CmdCompleted { unit: unit_id },
+        );
+        let st = &mut self.nodes[node as usize];
         if adaptive {
             // §9.4 adaptive control: cross-unit duplicate responses mean
             // concurrent commands are re-fetching each other's columns —
@@ -948,6 +1039,8 @@ impl<'a> World<'a> {
         let payload = self.payload as u64;
         let mut wake: Vec<u16> = Vec::new();
         let mut completed: Vec<u16> = Vec::new();
+        #[cfg(feature = "trace")]
+        let tracer = self.tracer.clone();
         {
             let st = &mut self.nodes[node as usize];
             for pr in pkt.prs {
@@ -962,11 +1055,25 @@ impl<'a> World<'a> {
                     self.pr_latency.record(now.saturating_sub(t_issue).as_ps());
                     #[cfg(any(debug_assertions, feature = "audit"))]
                     self.audit.resolve("pr");
+                    #[cfg(feature = "trace")]
+                    if let Some(tr) = &tracer {
+                        tr.record(
+                            TrackId::node(node, lane::RIG_BASE + pr.src_tid as u32),
+                            TraceEvent::PrResolved { idx: pr.idx },
+                        );
+                    }
                 } else {
                     // The watchdog already abandoned this PR (its ledger
                     // entry is closed); the data is still good, so deliver
                     // it, but don't resolve or time it.
                     self.faults.stale_responses += 1;
+                    #[cfg(feature = "trace")]
+                    if let Some(tr) = &tracer {
+                        tr.record(
+                            TrackId::node(node, lane::RIG_BASE + pr.src_tid as u32),
+                            TraceEvent::StaleResponse { idx: pr.idx },
+                        );
+                    }
                 }
                 let unit = &mut units[pr.src_tid as usize];
                 unit.rig.complete(pr.idx, filter);
@@ -1014,9 +1121,25 @@ impl<'a> World<'a> {
         // Detection/recovery is the RIG watchdog.
         if self.failures.switch_dead(SwitchId(sw)) {
             self.faults.dropped_dead += 1;
+            #[cfg(feature = "trace")]
+            self.trace(
+                TrackId::switch(sw, lane::FAULT),
+                TraceEvent::PacketDropped {
+                    reason: DropReason::Dead,
+                    prs: pkt.prs.len() as u32,
+                },
+            );
             return;
         }
         if self.loss_active && self.loss.drop_packet() {
+            #[cfg(feature = "trace")]
+            self.trace(
+                TrackId::switch(sw, lane::FAULT),
+                TraceEvent::PacketDropped {
+                    reason: DropReason::Loss,
+                    prs: pkt.prs.len() as u32,
+                },
+            );
             return; // counted by the loss process, surfaced in FaultReport
         }
         let t = now + self.switch_lat;
@@ -1081,6 +1204,12 @@ impl<'a> World<'a> {
     }
 
     fn handle(&mut self, now: SimTime, ev: Event, sched: &mut Scheduler<'_, Event>) {
+        // Advance the tracer's stamp clock once per delivered event; every
+        // component record within this event carries this (monotone) time.
+        #[cfg(feature = "trace")]
+        if let Some(tr) = &self.tracer {
+            tr.set_now(now);
+        }
         match ev {
             Event::HostIssue { node } => self.host_issue(now, node, sched),
             Event::ClientProcess { node, unit } => self.client_process(now, node, unit, sched),
@@ -1164,6 +1293,14 @@ impl<'a> World<'a> {
         self.faults.abandoned_prs += n_stale;
         #[cfg(any(debug_assertions, feature = "audit"))]
         self.audit.abandon_n("pr", n_stale);
+        #[cfg(feature = "trace")]
+        self.trace(
+            TrackId::node(node, lane::RIG_BASE + unit_id as u32),
+            TraceEvent::WatchdogRetry {
+                retry: cmd_retries,
+                abandoned: n_stale as u32,
+            },
+        );
 
         // Final escalation rung: the retry budget is exhausted twice over
         // (degraded mode included) — the destination is presumed gone.
@@ -1408,6 +1545,13 @@ impl<'a> World<'a> {
         } else {
             None
         };
+        // Fold the trace into the report: raw buffer, derived timeline
+        // (16 windows), and the full-trace digest.
+        #[cfg(feature = "trace")]
+        let trace = self
+            .tracer
+            .as_ref()
+            .map(|t| TraceReport::from_tracer(t, 16));
         SimReport {
             k,
             nodes,
@@ -1425,6 +1569,8 @@ impl<'a> World<'a> {
             hot_links,
             audit_digest,
             faults,
+            #[cfg(feature = "trace")]
+            trace,
         }
     }
 }
@@ -1445,7 +1591,31 @@ pub fn simulate(cfg: &ClusterConfig, wl: &CommWorkload) -> SimReport {
     if let Err(e) = cfg.validate() {
         panic!("invalid cluster config: {e}");
     }
+    let world = World::new(cfg, wl);
+    run(world, wl)
+}
+
+/// Runs exactly like [`simulate`] with a structured tracer attached; the
+/// returned report additionally carries a `TraceReport` (records,
+/// timeline metrics, full-trace digest). Available only under the `trace`
+/// feature — default builds compile no trace code at all.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate`].
+#[cfg(feature = "trace")]
+pub fn simulate_traced(cfg: &ClusterConfig, wl: &CommWorkload, tcfg: TraceConfig) -> SimReport {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid cluster config: {e}");
+    }
     let mut world = World::new(cfg, wl);
+    let tracer = Tracer::new(tcfg);
+    world.attach_tracer(&tracer);
+    run(world, wl)
+}
+
+/// The shared event-loop body of [`simulate`] and `simulate_traced`.
+fn run(mut world: World<'_>, wl: &CommWorkload) -> SimReport {
     let mut engine: Engine<Event> = Engine::new();
     for (t, action) in std::mem::take(&mut world.pending_transitions) {
         engine.schedule(t, Event::FaultTransition { action });

@@ -42,6 +42,7 @@ pub mod faults;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use audit::Auditor;
 pub use engine::{Engine, EventQueue, Scheduler};
@@ -49,3 +50,4 @@ pub use faults::{LossModel, LossProcess};
 pub use rng::SplitMix64;
 pub use stats::{Counter, Histogram, RateMeter, Reservoir, TimeSeries};
 pub use time::{Clock, SimTime};
+pub use trace::{TraceConfig, TraceReport, Tracer};

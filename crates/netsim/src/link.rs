@@ -3,6 +3,9 @@
 use netsparse_desim::{RateMeter, SimTime};
 use serde::{Deserialize, Serialize};
 
+#[cfg(feature = "trace")]
+use netsparse_desim::trace::{TraceEvent, Tracer, TrackId};
+
 /// Static link parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LinkParams {
@@ -70,6 +73,8 @@ pub struct Link {
     max_backlog: SimTime,
     meter: RateMeter,
     packets: u64,
+    #[cfg(feature = "trace")]
+    tracer: Option<(Tracer, TrackId)>,
 }
 
 impl Link {
@@ -81,7 +86,17 @@ impl Link {
             max_backlog: SimTime::ZERO,
             meter: RateMeter::new(),
             packets: 0,
+            #[cfg(feature = "trace")]
+            tracer: None,
         }
+    }
+
+    /// Attaches a tracer; every transmit is recorded as a `link_tx` on
+    /// `track` (this link's wire lane), carrying the packet's bytes and
+    /// the queueing delay it saw.
+    #[cfg(feature = "trace")]
+    pub fn set_tracer(&mut self, tracer: Tracer, track: TrackId) {
+        self.tracer = Some((tracer, track));
     }
 
     /// The link's static parameters.
@@ -98,6 +113,16 @@ impl Link {
         self.busy_until = depart + self.params.serialization(bytes);
         self.meter.record(self.busy_until, bytes);
         self.packets += 1;
+        #[cfg(feature = "trace")]
+        if let Some((tracer, track)) = &self.tracer {
+            tracer.record(
+                *track,
+                TraceEvent::LinkTx {
+                    bytes: bytes as u32,
+                    backlog_ps: backlog.as_ps(),
+                },
+            );
+        }
         self.busy_until + self.params.latency.into()
     }
 

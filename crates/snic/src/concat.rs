@@ -23,6 +23,10 @@ use std::collections::{BTreeMap, BinaryHeap};
 
 use netsparse_desim::{Histogram, SimTime};
 
+use netsparse_desim::trace::FlushReason;
+#[cfg(feature = "trace")]
+use netsparse_desim::trace::{TraceEvent, Tracer, TrackId};
+
 use crate::protocol::{HeaderSpec, Pr, PrKind};
 
 /// Configuration of one concatenation point.
@@ -146,6 +150,8 @@ pub struct Concatenator {
     eq_seq: u64,
     prs_per_packet: Histogram,
     packets: u64,
+    #[cfg(feature = "trace")]
+    tracer: Option<(Tracer, TrackId)>,
 }
 
 impl Concatenator {
@@ -158,7 +164,16 @@ impl Concatenator {
             eq_seq: 0,
             prs_per_packet: Histogram::new(),
             packets: 0,
+            #[cfg(feature = "trace")]
+            tracer: None,
         }
+    }
+
+    /// Attaches a tracer; every emitted packet is recorded as a
+    /// `concat_flush` on `track` (the owner's concat lane).
+    #[cfg(feature = "trace")]
+    pub fn set_tracer(&mut self, tracer: Tracer, track: TrackId) {
+        self.tracer = Some((tracer, track));
     }
 
     /// The configuration in use.
@@ -186,7 +201,7 @@ impl Concatenator {
         payload_bytes: u32,
     ) -> Option<ConcatPacket> {
         if !self.cfg.enabled {
-            return Some(self.emit(dest, kind, vec![pr], payload_bytes));
+            return Some(self.emit(dest, kind, vec![pr], payload_bytes, FlushReason::Bypass));
         }
         let max_prs = self.cfg.headers.prs_per_mtu(self.cfg.mtu, payload_bytes);
         let cq = self.queues.entry((dest, kind)).or_insert(Cq {
@@ -228,7 +243,7 @@ impl Concatenator {
         cq.prs.push(pr);
         cq.payload_per_pr = payload_bytes;
 
-        flushed.map(|(prs, payload)| self.emit(dest, kind, prs, payload))
+        flushed.map(|(prs, payload)| self.emit(dest, kind, prs, payload, FlushReason::Full))
     }
 
     /// The earliest pending expiration, if any (stale entries are
@@ -260,7 +275,7 @@ impl Concatenator {
                     let prs = std::mem::take(&mut cq.prs);
                     let payload = cq.payload_per_pr;
                     cq.generation += 1;
-                    out.push(self.emit(head.dest, head.kind, prs, payload));
+                    out.push(self.emit(head.dest, head.kind, prs, payload, FlushReason::Expired));
                 }
             }
         }
@@ -284,7 +299,7 @@ impl Concatenator {
             let prs = std::mem::take(&mut cq.prs);
             let payload = cq.payload_per_pr;
             cq.generation += 1;
-            out.push(self.emit(dest, kind, prs, payload));
+            out.push(self.emit(dest, kind, prs, payload, FlushReason::Drained));
         }
         out
     }
@@ -304,11 +319,31 @@ impl Concatenator {
         &self.prs_per_packet
     }
 
-    fn emit(&mut self, dest: u32, kind: PrKind, prs: Vec<Pr>, payload: u32) -> ConcatPacket {
+    fn emit(
+        &mut self,
+        dest: u32,
+        kind: PrKind,
+        prs: Vec<Pr>,
+        payload: u32,
+        reason: FlushReason,
+    ) -> ConcatPacket {
         debug_assert!(!prs.is_empty());
         let wire_bytes = self.cfg.headers.packet_bytes(prs.len() as u32, payload);
         self.prs_per_packet.record(prs.len() as u64);
         self.packets += 1;
+        #[cfg(feature = "trace")]
+        if let Some((tracer, track)) = &self.tracer {
+            tracer.record(
+                *track,
+                TraceEvent::ConcatFlush {
+                    reason,
+                    prs: prs.len() as u32,
+                    wire_bytes: wire_bytes as u32,
+                },
+            );
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = reason;
         ConcatPacket {
             dest,
             kind,

@@ -16,6 +16,9 @@
 
 use std::collections::BTreeMap;
 
+use netsparse_desim::trace::FlushReason;
+#[cfg(feature = "trace")]
+use netsparse_desim::trace::{TraceEvent, Tracer, TrackId};
 use netsparse_desim::{Histogram, SimTime};
 
 use crate::concat::{ConcatConfig, ConcatPacket};
@@ -94,6 +97,8 @@ pub struct VirtualConcatenator {
     prs_per_packet: Histogram,
     packets: u64,
     early_flushes: u64,
+    #[cfg(feature = "trace")]
+    tracer: Option<(Tracer, TrackId)>,
 }
 
 impl VirtualConcatenator {
@@ -117,7 +122,16 @@ impl VirtualConcatenator {
             prs_per_packet: Histogram::new(),
             packets: 0,
             early_flushes: 0,
+            #[cfg(feature = "trace")]
+            tracer: None,
         }
+    }
+
+    /// Attaches a tracer; every emitted packet is recorded as a
+    /// `concat_flush` on `track` (the owner's concat lane).
+    #[cfg(feature = "trace")]
+    pub fn set_tracer(&mut self, tracer: Tracer, track: TrackId) {
+        self.tracer = Some((tracer, track));
     }
 
     /// The pool configuration.
@@ -166,7 +180,7 @@ impl VirtualConcatenator {
         payload_bytes: u32,
     ) -> Vec<ConcatPacket> {
         if !self.cfg.enabled {
-            return vec![self.emit_prs(dest, kind, vec![pr], payload_bytes)];
+            return vec![self.emit_prs(dest, kind, vec![pr], payload_bytes, FlushReason::Bypass)];
         }
         let mut out = Vec::new();
         let pr_bytes = self.cfg.headers.pr + payload_bytes;
@@ -174,7 +188,7 @@ impl VirtualConcatenator {
         // the queues entirely (the dedicated design has the same escape —
         // `prs_per_mtu` never returns 0).
         if pr_bytes as u64 > self.pool.sram_bytes() {
-            out.push(self.emit_prs(dest, kind, vec![pr], payload_bytes));
+            out.push(self.emit_prs(dest, kind, vec![pr], payload_bytes, FlushReason::Bypass));
             return out;
         }
         self.touch += 1;
@@ -186,7 +200,7 @@ impl VirtualConcatenator {
             .get(&(dest, kind))
             .is_some_and(|q| !q.prs.is_empty() && q.bytes + pr_bytes > self.mtu_budget());
         if needs_flush {
-            if let Some(p) = self.flush_queue(dest, kind) {
+            if let Some(p) = self.flush_queue(dest, kind, FlushReason::Full) {
                 out.push(p);
             }
         }
@@ -235,13 +249,13 @@ impl VirtualConcatenator {
                 .map(|(&k, _)| k);
             match victim {
                 Some((vd, vk)) => {
-                    if let Some(p) = self.flush_queue(vd, vk) {
+                    if let Some(p) = self.flush_queue(vd, vk, FlushReason::Pressure) {
                         out.push(p);
                     }
                 }
                 None => {
                     // Nothing else holds physicals: flush ourselves.
-                    if let Some(p) = self.flush_queue(dest, kind) {
+                    if let Some(p) = self.flush_queue(dest, kind, FlushReason::Pressure) {
                         out.push(p);
                     }
                 }
@@ -274,7 +288,7 @@ impl VirtualConcatenator {
             .collect();
         expired
             .into_iter()
-            .filter_map(|(d, k)| self.flush_queue(d, k))
+            .filter_map(|(d, k)| self.flush_queue(d, k, FlushReason::Expired))
             .collect()
     }
 
@@ -287,11 +301,16 @@ impl VirtualConcatenator {
             .map(|(&k, _)| k)
             .collect();
         keys.into_iter()
-            .filter_map(|(d, k)| self.flush_queue(d, k))
+            .filter_map(|(d, k)| self.flush_queue(d, k, FlushReason::Drained))
             .collect()
     }
 
-    fn flush_queue(&mut self, dest: u32, kind: PrKind) -> Option<ConcatPacket> {
+    fn flush_queue(
+        &mut self,
+        dest: u32,
+        kind: PrKind,
+        reason: FlushReason,
+    ) -> Option<ConcatPacket> {
         let q = self.queues.get_mut(&(dest, kind))?;
         if q.prs.is_empty() {
             return None;
@@ -301,13 +320,33 @@ impl VirtualConcatenator {
         self.free_physical += q.physical;
         q.physical = 0;
         q.bytes = 0;
-        Some(self.emit_prs(dest, kind, prs, payload))
+        Some(self.emit_prs(dest, kind, prs, payload, reason))
     }
 
-    fn emit_prs(&mut self, dest: u32, kind: PrKind, prs: Vec<Pr>, payload: u32) -> ConcatPacket {
+    fn emit_prs(
+        &mut self,
+        dest: u32,
+        kind: PrKind,
+        prs: Vec<Pr>,
+        payload: u32,
+        reason: FlushReason,
+    ) -> ConcatPacket {
         let wire_bytes = self.cfg.headers.packet_bytes(prs.len() as u32, payload);
         self.prs_per_packet.record(prs.len() as u64);
         self.packets += 1;
+        #[cfg(feature = "trace")]
+        if let Some((tracer, track)) = &self.tracer {
+            tracer.record(
+                *track,
+                TraceEvent::ConcatFlush {
+                    reason,
+                    prs: prs.len() as u32,
+                    wire_bytes: wire_bytes as u32,
+                },
+            );
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = reason;
         ConcatPacket {
             dest,
             kind,

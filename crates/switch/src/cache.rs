@@ -15,6 +15,9 @@
 
 use serde::{Deserialize, Serialize};
 
+#[cfg(feature = "trace")]
+use netsparse_desim::trace::{TraceEvent, Tracer, TrackId};
+
 /// Replacement policy of the Property Cache. The paper's design point is
 /// LRU (Table 5); the alternatives exist for the policy ablation — FIFO
 /// ignores reuse, random needs no per-line state at all.
@@ -167,6 +170,8 @@ pub struct PropertyCache {
     lines: Vec<Line>, // sets x ways, row-major
     tick: u64,
     stats: CacheStats,
+    #[cfg(feature = "trace")]
+    tracer: Option<(Tracer, TrackId)>,
 }
 
 impl PropertyCache {
@@ -214,6 +219,23 @@ impl PropertyCache {
             ],
             tick: 0,
             stats: CacheStats::default(),
+            #[cfg(feature = "trace")]
+            tracer: None,
+        }
+    }
+
+    /// Attaches a tracer; probes and deposits are recorded on `track`
+    /// (the owning switch's cache lane).
+    #[cfg(feature = "trace")]
+    pub fn set_tracer(&mut self, tracer: Tracer, track: TrackId) {
+        self.tracer = Some((tracer, track));
+    }
+
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn trace(&self, event: TraceEvent) {
+        if let Some((tracer, track)) = &self.tracer {
+            tracer.record(*track, event);
         }
     }
 
@@ -275,10 +297,14 @@ impl PropertyCache {
                     line.last_use = tick;
                 }
                 self.stats.hits += 1;
+                #[cfg(feature = "trace")]
+                self.trace(TraceEvent::CacheHit { idx });
                 return true;
             }
         }
         self.stats.misses += 1;
+        #[cfg(feature = "trace")]
+        self.trace(TraceEvent::CacheMiss { idx });
         false
     }
 
@@ -333,6 +359,10 @@ impl PropertyCache {
         let slot = set * w + victim;
         if self.lines[slot].valid {
             self.stats.evictions += 1;
+            #[cfg(feature = "trace")]
+            self.trace(TraceEvent::CacheEvict {
+                idx: self.lines[slot].idx,
+            });
         }
         self.lines[slot] = Line {
             idx,
@@ -340,6 +370,8 @@ impl PropertyCache {
             valid: true,
         };
         self.stats.insertions += 1;
+        #[cfg(feature = "trace")]
+        self.trace(TraceEvent::CacheInsert { idx });
     }
 
     /// Invalidates everything (control-plane reset before a kernel).

@@ -12,6 +12,9 @@
 
 use serde::{Deserialize, Serialize};
 
+#[cfg(feature = "trace")]
+use netsparse_desim::trace::{Tracer, TrackId};
+
 use crate::cache::{CacheStats, PropertyCache, PropertyCacheConfig};
 
 /// Switch parameters (Table 5, "Switches" rows).
@@ -105,6 +108,15 @@ impl MiddlePipes {
     /// Whether any cache exists (false under the no-cache ablation).
     pub fn enabled(&self) -> bool {
         !self.banks.is_empty()
+    }
+
+    /// Attaches a tracer to every bank; all banks share `track` (the
+    /// switch's cache lane — bank interleaving is a simulation detail).
+    #[cfg(feature = "trace")]
+    pub fn set_tracer(&mut self, tracer: Tracer, track: TrackId) {
+        for b in &mut self.banks {
+            b.set_tracer(tracer.clone(), track);
+        }
     }
 
     /// The bank index serving properties homed at `home`.

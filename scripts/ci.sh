@@ -8,7 +8,9 @@
 # docs/STATIC_ANALYSIS.md), clippy with the workspace deny-set, the debug
 # test suite (runtime auditor active via debug_assertions), the tier-1
 # release build + tests, the fault-recovery suite under the release
-# auditor (see docs/FAULTS.md), and an ext_fault_sweep smoke run.
+# auditor (see docs/FAULTS.md), the structured-tracing suites with the
+# `trace` feature on (see docs/OBSERVABILITY.md), and smoke runs of the
+# ext_fault_sweep and ext_trace extension experiments.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,6 +34,13 @@ if [[ "$fast" -eq 0 ]]; then
     # in release mode (debug runs already audit via debug_assertions).
     run cargo test -q -p netsparse-tests --features audit --release --test fault_recovery
     run cargo run --release -q -p netsparse-bench --bin ext_fault_sweep
+    # Structured tracing: golden trace, trace-vs-metrics consistency,
+    # exporter validity and the protocol property suite, with the tracer
+    # and the release auditor both compiled in.
+    run cargo test -q -p netsparse-tests --features "trace,audit" --release \
+        --test trace_golden --test trace_consistency --test trace_exporters \
+        --test protocol_properties
+    run cargo run --release -q -p netsparse-bench --features trace --bin ext_trace -- --scale 0.05
 fi
 
 echo "ci: all checks passed"

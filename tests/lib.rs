@@ -1,1 +1,3 @@
 //! Integration tests crate; see the test files.
+
+pub mod json;

@@ -379,3 +379,154 @@ fn reservoir_quantiles_are_ordered() {
         assert!(q50 >= lo && q50 <= hi);
     });
 }
+
+#[test]
+fn filter_never_passes_a_duplicate_idx_within_a_window() {
+    // Within one filter window (no clears), a given idx results in at
+    // most one issued PR, no matter how requests and responses interleave:
+    // outstanding duplicates coalesce, completed duplicates filter.
+    use netsparse_snic::{IdxOutcome, RigClient};
+    for_cases(0x20, 128, |rng| {
+        let n_cols = 256u32;
+        let mut unit = RigClient::new(0, 0, 48);
+        let mut filter = IdxFilter::new(n_cols);
+        let mut issued = vec![false; n_cols as usize];
+        let mut outstanding: Vec<u32> = Vec::new();
+        for _ in 0..rng.range_u32(50, 400) {
+            let idx = rng.range_u32(0, n_cols);
+            match unit.process_idx(idx, false, true, true, &mut filter) {
+                IdxOutcome::Issued(pr) => {
+                    assert_eq!(pr.idx, idx);
+                    assert!(
+                        !issued[idx as usize],
+                        "idx {idx} issued twice within one filter window"
+                    );
+                    issued[idx as usize] = true;
+                    outstanding.push(idx);
+                }
+                IdxOutcome::Stalled => {
+                    let done = outstanding.swap_remove(0);
+                    unit.complete(done, &mut filter);
+                }
+                IdxOutcome::Coalesced | IdxOutcome::Filtered => {}
+                IdxOutcome::Local => unreachable!("no idx is marked local"),
+            }
+            // Complete a random outstanding PR about half the time, so the
+            // stream sees idxs in all three states.
+            if !outstanding.is_empty() && rng.next_bool() {
+                let i = rng.range_u32(0, outstanding.len() as u32) as usize;
+                let done = outstanding.swap_remove(i);
+                unit.complete(done, &mut filter);
+            }
+        }
+    });
+}
+
+#[test]
+fn coalescing_preserves_the_exact_requested_index_set() {
+    // Redundancy elimination drops *transfers*, never *data*: the set of
+    // idxs issued to the network equals the set of distinct remote idxs
+    // requested — nothing lost, nothing extra.
+    use netsparse_snic::{IdxOutcome, RigClient};
+    for_cases(0x21, 128, |rng| {
+        let n_cols = 256u32;
+        let mut unit = RigClient::new(1, 0, 16);
+        let mut filter = IdxFilter::new(n_cols);
+        let mut requested = vec![false; n_cols as usize];
+        let mut issued = vec![false; n_cols as usize];
+        let mut outstanding: Vec<u32> = Vec::new();
+        let idxs: Vec<u32> = (0..rng.range_u32(20, 300))
+            .map(|_| rng.range_u32(0, n_cols))
+            .collect();
+        for &idx in &idxs {
+            loop {
+                match unit.process_idx(idx, false, true, true, &mut filter) {
+                    IdxOutcome::Stalled => {
+                        // Drain one response and retry the same idx, as
+                        // the event loop does on wake-up.
+                        let done = outstanding.swap_remove(0);
+                        unit.complete(done, &mut filter);
+                    }
+                    IdxOutcome::Issued(pr) => {
+                        assert!(!issued[pr.idx as usize], "duplicate PR for {idx}");
+                        issued[pr.idx as usize] = true;
+                        outstanding.push(pr.idx);
+                        requested[idx as usize] = true;
+                        break;
+                    }
+                    IdxOutcome::Coalesced | IdxOutcome::Filtered => {
+                        requested[idx as usize] = true;
+                        break;
+                    }
+                    IdxOutcome::Local => unreachable!("no idx is marked local"),
+                }
+            }
+        }
+        assert_eq!(
+            requested, issued,
+            "issued set differs from the requested set"
+        );
+    });
+}
+
+#[test]
+fn concat_flush_sizes_never_exceed_the_mtu() {
+    // Every packet either fits the MTU or is a single PR that alone
+    // exceeds it (jumbo payloads have no smaller representation). Holds
+    // for the dedicated and the virtualized concatenator alike, on every
+    // flush path: MTU-full, timer expiry, pressure eviction and drain.
+    use netsparse_snic::vconcat::{VirtualConcatenator, VirtualCqConfig};
+    for_cases(0x22, 96, |rng| {
+        let mtu = rng.range_u32(200, 9_000);
+        let h = HeaderSpec::paper();
+        let cfg = ConcatConfig {
+            headers: h,
+            mtu,
+            delay: SimTime::from_ns(rng.range_u64(1, 800)),
+            enabled: true,
+        };
+        let payload_of = |kind: PrKind| if kind == PrKind::Read { 0 } else { 64 };
+        let bound = |kind: PrKind| (mtu as u64).max(h.packet_bytes(1, payload_of(kind)));
+        let mut c = Concatenator::new(cfg);
+        let mut v = VirtualConcatenator::new(
+            cfg,
+            VirtualCqConfig {
+                physical_queues: 8,
+                physical_bytes: rng.range_u32(64, 1_024).min(mtu),
+            },
+        );
+        for i in 0..rng.range_u32(1, 300) {
+            let dest = rng.range_u32(0, 6);
+            let kind = if rng.next_bool() {
+                PrKind::Read
+            } else {
+                PrKind::Response
+            };
+            let t = SimTime::from_ns(rng.range_u64(0, 3_000));
+            let pr = Pr {
+                src_node: 0,
+                src_tid: 0,
+                idx: i,
+                req_id: i,
+            };
+            if let Some(p) = c.push(t, dest, kind, pr, payload_of(kind)) {
+                assert!(p.wire_bytes <= bound(p.kind), "dedicated push overflow");
+            }
+            for p in c.flush_expired(t) {
+                assert!(p.wire_bytes <= bound(p.kind), "dedicated expiry overflow");
+            }
+            for p in v.push(t, dest, kind, pr, payload_of(kind)) {
+                assert!(p.wire_bytes <= bound(p.kind), "virtual push overflow");
+            }
+            for p in v.flush_expired(t) {
+                assert!(p.wire_bytes <= bound(p.kind), "virtual expiry overflow");
+            }
+        }
+        for p in c.flush_all() {
+            assert!(p.wire_bytes <= bound(p.kind), "dedicated drain overflow");
+        }
+        for p in v.flush_all() {
+            assert!(p.wire_bytes <= bound(p.kind), "virtual drain overflow");
+        }
+    });
+}

@@ -1,0 +1,121 @@
+//! Golden-trace regression: the structured trace of a pinned end-to-end
+//! simulation is part of the repo's contract. The committed digest (and
+//! the human-readable prefix next to it) must reproduce bit-for-bit on
+//! every toolchain and profile — event-flow arithmetic is all-integer, so
+//! debug and release agree. Any intentional change to event ordering,
+//! timing, or instrumentation must update the constants below *and* say
+//! why in the commit message.
+//!
+//! Requires `--features trace`.
+
+use netsparse::{simulate_traced, ClusterConfig, SimReport};
+use netsparse_desim::TraceConfig;
+use netsparse_netsim::Topology;
+use netsparse_sparse::suite::SuiteConfig;
+use netsparse_sparse::SuiteMatrix;
+
+/// Digest of the seed-7 golden run's full record stream.
+const GOLDEN_DIGEST_SEED7: u64 = 0xefae_e44c_217e_7e60;
+/// Digest of the seed-11 golden run (a second seed guards against a
+/// digest function that collapses distinct streams).
+const GOLDEN_DIGEST_SEED11: u64 = 0x068f_08d1_e086_69f7;
+/// The first records of the seed-7 run, as CSV rows — a human-readable
+/// anchor so a digest mismatch is debuggable from the diff alone.
+const GOLDEN_PREFIX_SEED7: &str = "\
+0,0,0,cmd_issued,0,2048
+0,1,0,cmd_issued,0,2048
+0,2,0,cmd_issued,0,2048
+0,3,0,cmd_issued,0,2048
+0,4,0,cmd_issued,0,2048
+0,5,0,cmd_issued,0,2048
+0,6,0,cmd_issued,0,2048
+0,7,0,cmd_issued,0,2048
+";
+/// How many records the seed-7 run captures (no drops at this scale).
+const GOLDEN_LEN_SEED7: usize = 12_045;
+
+/// The pinned golden configuration: same cluster and workload shape as
+/// `determinism.rs`, with tracing attached at default capacity.
+fn golden_run(seed: u64) -> SimReport {
+    let topo = Topology::LeafSpine {
+        racks: 2,
+        rack_size: 4,
+        spines: 2,
+    };
+    let wl = SuiteConfig {
+        matrix: SuiteMatrix::Uk,
+        nodes: 8,
+        rack_size: 4,
+        scale: 0.1,
+        seed,
+    }
+    .generate();
+    let cfg = ClusterConfig::mini(topo, 16);
+    simulate_traced(&cfg, &wl, TraceConfig::default())
+}
+
+#[test]
+fn same_seed_reruns_produce_identical_traces() {
+    for seed in [7, 11] {
+        let a = golden_run(seed);
+        let b = golden_run(seed);
+        let (ta, tb) = (a.trace.as_ref().unwrap(), b.trace.as_ref().unwrap());
+        assert_eq!(ta.digest, tb.digest, "seed {seed}: digest diverged");
+        // Not just the digest: the full record streams are equal, so a
+        // digest collision cannot mask a divergence here.
+        assert_eq!(
+            ta.buffer.records(),
+            tb.buffer.records(),
+            "seed {seed}: record streams diverged"
+        );
+        assert_eq!(ta.buffer.dropped(), 0, "golden runs must not drop");
+    }
+}
+
+#[test]
+fn golden_digest_matches_the_committed_constants() {
+    let a = golden_run(7);
+    let tr = a.trace.as_ref().unwrap();
+    assert_eq!(
+        tr.buffer.len(),
+        GOLDEN_LEN_SEED7,
+        "seed-7 record count changed; retune the golden constants"
+    );
+    assert_eq!(
+        tr.buffer.human_prefix(8),
+        GOLDEN_PREFIX_SEED7,
+        "seed-7 trace prefix changed; the first records are the debugging anchor"
+    );
+    assert_eq!(
+        tr.digest, GOLDEN_DIGEST_SEED7,
+        "seed-7 trace digest changed: {:#018x}",
+        tr.digest
+    );
+    let b = golden_run(11);
+    assert_eq!(
+        b.trace.as_ref().unwrap().digest,
+        GOLDEN_DIGEST_SEED11,
+        "seed-11 trace digest changed: {:#018x}",
+        b.trace.as_ref().unwrap().digest
+    );
+}
+
+#[test]
+fn different_seeds_produce_different_traces() {
+    let a = golden_run(7);
+    let b = golden_run(11);
+    assert_ne!(
+        a.trace.as_ref().unwrap().digest,
+        b.trace.as_ref().unwrap().digest,
+        "distinct workloads hashed to the same trace digest"
+    );
+}
+
+#[test]
+fn report_digest_mirrors_the_buffer() {
+    let r = golden_run(7);
+    let tr = r.trace.as_ref().unwrap();
+    assert_eq!(tr.digest, tr.buffer.digest());
+    assert_eq!(tr.buffer.offered(), tr.buffer.len() as u64);
+    assert!(r.functional_check_passed);
+}
