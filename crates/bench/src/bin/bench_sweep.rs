@@ -1,0 +1,64 @@
+//! Serial-vs-parallel sweep benchmark: runs a representative slice of
+//! the evaluation twice — once on one worker, once on every available
+//! core — verifies the outputs are byte-identical, and writes
+//! `BENCH_sweep.json` with both wall-clocks so the speedup is tracked
+//! across commits.
+//!
+//! The absolute speedup depends on the runner's core count (a one-core
+//! CI box legitimately reports ~1.0x), so the JSON records the worker
+//! count alongside the timings instead of asserting a ratio.
+use std::time::Instant; // simaudit:allow(no-wall-clock): wall-clock benchmark
+
+use netsparse_bench::{tables, BenchOpts};
+
+/// The slice of the evaluation the benchmark times: the main speedup
+/// grid, a batch-size sweep, and the fault sweep named in the roadmap.
+fn render_all(o: &BenchOpts) -> String {
+    let mut out = String::new();
+    out.push_str(&tables::fig12(o));
+    out.push_str(&tables::fig15(o));
+    out.push_str(&tables::ext_fault_sweep(o));
+    out
+}
+
+fn timed(o: &BenchOpts) -> (String, f64) {
+    let t = Instant::now(); // simaudit:allow(no-wall-clock)
+    let body = render_all(o);
+    (body, t.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let o = BenchOpts::from_args();
+    // Default this binary to a sweep-friendly scale; an explicit --scale
+    // (or --quick) wins.
+    let scale_given = std::env::args().any(|a| a == "--scale" || a == "--quick");
+    let o = if scale_given { o } else { o.scaled(0.25) };
+    let parallel_workers = if o.workers > 1 {
+        o.workers
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+
+    eprintln!("[serial pass: 1 worker]");
+    let (serial_out, serial_s) = timed(&o.with_workers(1));
+    eprintln!("[parallel pass: {parallel_workers} workers]");
+    let (parallel_out, parallel_s) = timed(&o.with_workers(parallel_workers));
+
+    assert_eq!(
+        serial_out, parallel_out,
+        "parallel sweep output must be byte-identical to serial"
+    );
+    let speedup = serial_s / parallel_s.max(1e-9);
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_serial_vs_parallel\",\n  \"scale\": {},\n  \"seed\": {},\n  \"workers\": {},\n  \"serial_s\": {:.3},\n  \"parallel_s\": {:.3},\n  \"speedup\": {:.2},\n  \"output_identical\": true\n}}\n",
+        o.scale, o.seed, parallel_workers, serial_s, parallel_s, speedup
+    );
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    println!("{json}");
+    eprintln!(
+        "[serial {serial_s:.2}s, parallel {parallel_s:.2}s on {parallel_workers} workers: \
+         {speedup:.2}x; output byte-identical]"
+    );
+}

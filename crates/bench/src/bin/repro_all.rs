@@ -1,9 +1,17 @@
 //! Regenerates every table and figure of the paper's evaluation in one
 //! run. Output is organized per experiment; pipe through `tee` to save.
+//!
+//! With `--parallel` (or `--workers <n>`) each table fans its
+//! independent sweep points across threads via the bench crate's
+//! `SweepRunner`; stdout is byte-identical to a serial run — only the
+//! wall-clock changes. Sections still render in order.
 use std::time::Instant; // simaudit:allow(no-wall-clock): CLI progress timing
 
 fn main() {
     let o = netsparse_bench::BenchOpts::from_args();
+    if o.workers > 1 {
+        eprintln!("[sweeping across {} worker threads]", o.workers);
+    }
     let t0 = Instant::now(); // simaudit:allow(no-wall-clock)
     type Section<'a> = (&'a str, Box<dyn Fn() -> String>);
     let sections: Vec<Section> = vec![

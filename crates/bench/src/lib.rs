@@ -3,14 +3,19 @@
 //! One public function per paper table/figure (see `DESIGN.md`'s
 //! experiment index); each returns its formatted output so the per-target
 //! binaries (`table1` … `fig22`) and the all-in-one `repro_all` binary can
-//! share the logic. Micro-benchmarks of the substrate components live in
-//! `benches/`, running on the in-tree [`microbench`] harness.
+//! share the logic. Simulation-backed sweeps fan their independent points
+//! across threads via [`sweep::SweepRunner`] (`--workers`/`--parallel`)
+//! with byte-identical output at any worker count. Micro-benchmarks of
+//! the substrate components live in `benches/`, running on the in-tree
+//! [`microbench`] harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod microbench;
 pub mod opts;
+pub mod sweep;
 pub mod tables;
 
 pub use opts::BenchOpts;
+pub use sweep::SweepRunner;

@@ -11,7 +11,11 @@
 /// - `--paper`: use the verbatim Table 5 machine (400 Gbps, real
 ///   latencies, 32 MB caches) instead of the scaled `mini` profile.
 ///   Orderings still hold, but fixed costs claim a larger share of the
-///   scaled-down kernels, so magnitudes compress (see DESIGN.md §3).
+///   scaled-down kernels, so magnitudes compress (see DESIGN.md §3),
+/// - `--workers <n>`: fan independent sweep points across `n` threads
+///   (default 1, i.e. serial). Output is byte-identical at any worker
+///   count — see `crate::sweep`,
+/// - `--parallel`: shorthand for `--workers <available cores>`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BenchOpts {
     /// Workload scale factor.
@@ -20,6 +24,8 @@ pub struct BenchOpts {
     pub seed: u64,
     /// Run on the verbatim Table 5 cluster profile.
     pub paper_profile: bool,
+    /// Worker threads for sweep execution (1 = serial).
+    pub workers: usize,
 }
 
 impl Default for BenchOpts {
@@ -28,6 +34,7 @@ impl Default for BenchOpts {
             scale: 1.0,
             seed: 2025,
             paper_profile: false,
+            workers: 1,
         }
     }
 }
@@ -50,15 +57,33 @@ impl BenchOpts {
                 }
                 "--quick" => opts.scale *= 0.25,
                 "--paper" => opts.paper_profile = true,
+                "--workers" => {
+                    let v = args.next().expect("--workers needs a value");
+                    opts.workers = v.parse().expect("--workers must be an integer");
+                }
+                "--parallel" => opts.workers = available_workers(),
                 "--help" | "-h" => {
-                    eprintln!("options: [--scale f64] [--seed u64] [--quick] [--paper]");
+                    eprintln!(
+                        "options: [--scale f64] [--seed u64] [--quick] [--paper] \
+                         [--workers n] [--parallel]"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown option '{other}' (try --help)"),
             }
         }
         assert!(opts.scale > 0.0, "--scale must be positive");
+        assert!(opts.workers >= 1, "--workers must be at least 1");
         opts
+    }
+
+    /// A derived option set running sweeps over `workers` threads.
+    #[must_use]
+    pub fn with_workers(&self, workers: usize) -> Self {
+        BenchOpts {
+            workers: workers.max(1),
+            ..*self
+        }
     }
 
     /// A derived option set with the scale multiplied by `f` (sweep
@@ -71,6 +96,13 @@ impl BenchOpts {
     }
 }
 
+/// The worker count `--parallel` selects: every available core.
+pub(crate) fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,8 +111,12 @@ mod tests {
     fn defaults_and_scaling() {
         let o = BenchOpts::default();
         assert_eq!(o.scale, 1.0);
+        assert_eq!(o.workers, 1);
         let half = o.scaled(0.5);
         assert_eq!(half.scale, 0.5);
         assert_eq!(half.seed, o.seed);
+        // Scaling a sweep keeps its worker pool.
+        assert_eq!(o.with_workers(8).scaled(0.5).workers, 8);
+        assert_eq!(o.with_workers(0).workers, 1);
     }
 }

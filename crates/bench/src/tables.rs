@@ -16,9 +16,29 @@ use netsparse_snic::HeaderSpec;
 use netsparse_sparse::SuiteMatrix;
 
 use crate::opts::BenchOpts;
+use crate::sweep::SweepRunner;
 
 /// Property sizes evaluated throughout the paper.
 pub const K_VALUES: [u32; 3] = [1, 16, 128];
+
+/// Evaluates an `exps.len() x cols` grid of independent simulation
+/// points through the sweep runner selected by `o`, returning one row of
+/// results per experiment. Execution order is row-major by submission
+/// index; results are identical at any worker count, so the serial
+/// formatting loops downstream render byte-identical tables.
+fn sweep_grid<T: Send>(
+    o: &BenchOpts,
+    exps: &[Experiment],
+    cols: usize,
+    cell: impl Fn(&Experiment, usize) -> T + Sync,
+) -> Vec<Vec<T>> {
+    let flat =
+        SweepRunner::from_opts(o).run(exps.len() * cols, |i| cell(&exps[i / cols], i % cols));
+    let mut it = flat.into_iter();
+    (0..exps.len())
+        .map(|_| (&mut it).take(cols).collect())
+        .collect()
+}
 
 fn mini_cfg(k: u32) -> ClusterConfig {
     ClusterConfig::mini(Topology::leaf_spine_128(), k)
@@ -186,20 +206,23 @@ pub fn fig12(o: &BenchOpts) -> String {
         "Matrix", "K", "SAOpt/SUOpt", "NetSparse/SUOpt"
     );
     let exps = all_experiments(o);
+    let cells = sweep_grid(o, &exps, K_VALUES.len(), |e, ki| {
+        let (cmp, _) = e.compare(&cfg_for(o, K_VALUES[ki]));
+        (cmp.sa_over_su(), cmp.netsparse_over_su())
+    });
     let mut ns_all = Vec::new();
     let mut sa_all = Vec::new();
-    for e in &exps {
-        for k in K_VALUES {
-            let (cmp, _) = e.compare(&cfg_for(o, k));
-            ns_all.push(cmp.netsparse_over_su());
-            sa_all.push(cmp.sa_over_su());
+    for (e, row) in exps.iter().zip(&cells) {
+        for (&k, &(sa, ns)) in K_VALUES.iter().zip(row) {
+            ns_all.push(ns);
+            sa_all.push(sa);
             let _ = writeln!(
                 out,
                 "{:<8} {:>4} {:>14.2} {:>14.2}",
                 e.matrix.name(),
                 k,
-                cmp.sa_over_su(),
-                cmp.netsparse_over_su()
+                sa,
+                ns
             );
         }
     }
@@ -237,8 +260,10 @@ pub fn table7(o: &BenchOpts) -> String {
     );
     let cfg = cfg_for(o, k);
     let sa = netsparse::baselines::Baselines::for_line_rate(cfg.link.bandwidth_bps / 1e9).sa;
-    for (i, e) in all_experiments(o).iter().enumerate() {
-        let report = e.run(&cfg);
+    let exps = all_experiments(o);
+    let reports = SweepRunner::from_opts(o).map(&exps, |e| e.run(&cfg));
+    for (i, e) in exps.iter().enumerate() {
+        let report = &reports[i];
         let tail = report.tail_node();
         let stats = e.wl.pattern_stats();
         let su_tail_bytes = stats.per_node[tail].su_received * 4 * k as u64;
@@ -276,10 +301,14 @@ pub fn fig13(o: &BenchOpts) -> String {
         "{:<8} {:>4} {:>8} {:>8} {:>10} {:>8}",
         "Matrix", "K", "SUOpt", "SAOpt", "NetSparse", "Ideal"
     );
+    let ks = [16u32, 128];
+    let exps = all_experiments(o);
+    let cells = sweep_grid(o, &exps, ks.len(), |e, ki| {
+        e.end_to_end(&cfg_for(o, ks[ki]), ComputeEngine::Spade)
+    });
     let mut per_k: Vec<(f64, f64, f64, f64)> = Vec::new();
-    for e in all_experiments(o) {
-        for k in [16u32, 128] {
-            let r = e.end_to_end(&cfg_for(o, k), ComputeEngine::Spade);
+    for (e, row) in exps.iter().zip(&cells) {
+        for (&k, r) in ks.iter().zip(row) {
             per_k.push((
                 r.speedup_su,
                 r.speedup_sa,
@@ -322,8 +351,11 @@ pub fn fig14(o: &BenchOpts) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Figure 14: tail-node comm/comp time ratio (K=16)");
     let _ = writeln!(out, "{:<8} {:>14} {:>14}", "Matrix", "SAOpt", "NetSparse");
-    for e in all_experiments(o) {
-        let r = e.end_to_end(&cfg_for(o, k), ComputeEngine::Spade);
+    let exps = all_experiments(o);
+    let results = SweepRunner::from_opts(o).map(&exps, |e| {
+        e.end_to_end(&cfg_for(o, k), ComputeEngine::Spade)
+    });
+    for (e, r) in exps.iter().zip(&results) {
         let _ = writeln!(
             out,
             "{:<8} {:>14.2} {:>14.2}",
@@ -343,9 +375,18 @@ pub fn fig14(o: &BenchOpts) -> String {
 pub fn table8(o: &BenchOpts) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table 8: ablation vs SUOpt (cumulative stages)");
-    for m in [SuiteMatrix::Arabic, SuiteMatrix::Europe] {
-        let e = Experiment::new(m, o.scale, o.seed);
-        let _ = writeln!(out, "--- {} ---", m.name());
+    let exps: Vec<Experiment> = [SuiteMatrix::Arabic, SuiteMatrix::Europe]
+        .iter()
+        .map(|&m| Experiment::new(m, o.scale, o.seed))
+        .collect();
+    let cells = sweep_grid(o, &exps, K_VALUES.len(), |e, ki| {
+        e.ablation(&mini_cfg(K_VALUES[ki]))
+            .iter()
+            .map(|r| (r.speedup_vs_su, r.traffic_reduction_vs_su, r.goodput))
+            .collect::<Vec<_>>()
+    });
+    for (e, krows) in exps.iter().zip(&cells) {
+        let _ = writeln!(out, "--- {} ---", e.matrix.name());
         let _ = writeln!(
             out,
             "{:<10} {}",
@@ -357,10 +398,9 @@ pub fn table8(o: &BenchOpts) -> String {
                 .join(" | ")
         );
         let mut rows: Vec<Vec<(f64, f64, f64)>> = vec![Vec::new(); 5];
-        for k in K_VALUES {
-            let stage_rows = e.ablation(&mini_cfg(k));
+        for stage_rows in krows {
             for (i, r) in stage_rows.iter().enumerate() {
-                rows[i].push((r.speedup_vs_su, r.traffic_reduction_vs_su, r.goodput));
+                rows[i].push(*r);
             }
         }
         let stage_names = ["RIG", "Filter", "Coalesce", "ConcNIC", "Switch"];
@@ -397,19 +437,19 @@ pub fn fig15(o: &BenchOpts) -> String {
         let _ = write!(out, " {:>8}", b);
     }
     let _ = writeln!(out);
-    for e in all_experiments(&o) {
-        let mut times = Vec::new();
-        for b in batches {
-            let mut cfg = mini_cfg(k);
-            cfg.batch_size = b;
-            times.push(e.run(&cfg).comm_time_s());
-        }
+    let exps = all_experiments(&o);
+    let cells = sweep_grid(&o, &exps, batches.len(), |e, bi| {
+        let mut cfg = mini_cfg(k);
+        cfg.batch_size = batches[bi];
+        e.run(&cfg).comm_time_s()
+    });
+    for (e, times) in exps.iter().zip(&cells) {
         let base = times[batches
             .iter()
             .position(|&b| b == baseline)
             .expect("present")];
         let _ = write!(out, "{:<8}", e.matrix.name());
-        for t in &times {
+        for t in times {
             let _ = write!(out, " {:>8.2}", base / t);
         }
         let _ = writeln!(out);
@@ -437,15 +477,15 @@ pub fn fig16(o: &BenchOpts) -> String {
         let _ = write!(out, " {:>8}", u);
     }
     let _ = writeln!(out);
-    for e in all_experiments(&o) {
-        let mut times = Vec::new();
-        for u in units {
-            let mut cfg = mini_cfg(k);
-            cfg.snic.rig_units = u;
-            times.push(e.run(&cfg).comm_time_s());
-        }
+    let exps = all_experiments(&o);
+    let cells = sweep_grid(&o, &exps, units.len(), |e, ui| {
+        let mut cfg = mini_cfg(k);
+        cfg.snic.rig_units = units[ui];
+        e.run(&cfg).comm_time_s()
+    });
+    for (e, times) in exps.iter().zip(&cells) {
         let _ = write!(out, "{:<8}", e.matrix.name());
-        for t in &times {
+        for t in times {
             let _ = write!(out, " {:>8.2}", times[0] / t);
         }
         let _ = writeln!(out);
@@ -470,17 +510,24 @@ pub fn fig17(o: &BenchOpts) -> String {
         let _ = write!(out, " {:>8}", d);
     }
     let _ = writeln!(out);
-    for e in all_experiments(&o) {
+    let exps = all_experiments(&o);
+    // Column 0 is the no-concatenation baseline each row normalizes to.
+    let cells = sweep_grid(&o, &exps, 1 + delays.len(), |e, ci| {
         let mut cfg = mini_cfg(k);
-        cfg.mechanisms.nic_concat = false;
-        cfg.mechanisms.switch_concat = false;
-        let base = e.run(&cfg).comm_time_s();
-        let _ = write!(out, "{:<8} {:>8.2}", e.matrix.name(), 1.0);
-        for d in delays {
-            let mut cfg = mini_cfg(k);
+        if ci == 0 {
+            cfg.mechanisms.nic_concat = false;
+            cfg.mechanisms.switch_concat = false;
+        } else {
+            let d = delays[ci - 1];
             cfg.snic.concat_delay_cycles = d;
             cfg.switch.concat_delay_cycles = (d / 4).max(1);
-            let t = e.run(&cfg).comm_time_s();
+        }
+        e.run(&cfg).comm_time_s()
+    });
+    for (e, times) in exps.iter().zip(&cells) {
+        let base = times[0];
+        let _ = write!(out, "{:<8} {:>8.2}", e.matrix.name(), 1.0);
+        for t in &times[1..] {
             let _ = write!(out, " {:>8.2}", base / t);
         }
         let _ = writeln!(out);
@@ -527,15 +574,21 @@ pub fn fig18(o: &BenchOpts) -> String {
         let _ = write!(out, " {:>8}", name);
     }
     let _ = writeln!(out);
-    for e in all_experiments(&o) {
+    let exps = all_experiments(&o);
+    // Column 0 is the cache-disabled baseline each row normalizes to.
+    let cells = sweep_grid(&o, &exps, 1 + sizes.len(), |e, ci| {
         let mut cfg = stressed(k);
-        cfg.mechanisms.property_cache = false;
-        let base = e.run(&cfg).comm_time_s();
+        if ci == 0 {
+            cfg.mechanisms.property_cache = false;
+        } else {
+            cfg.switch.cache.capacity_bytes = sizes[ci - 1].1;
+        }
+        e.run(&cfg).comm_time_s()
+    });
+    for (e, times) in exps.iter().zip(&cells) {
+        let base = times[0];
         let _ = write!(out, "{:<8} {:>8.2}", e.matrix.name(), 1.0);
-        for (_, bytes) in sizes {
-            let mut cfg = stressed(k);
-            cfg.switch.cache.capacity_bytes = bytes;
-            let t = e.run(&cfg).comm_time_s();
+        for t in &times[1..] {
             let _ = write!(out, " {:>8.2}", base / t);
         }
         let _ = writeln!(out);
@@ -561,9 +614,10 @@ pub fn fig19(o: &BenchOpts) -> String {
         let _ = write!(out, " {:>5}", format!("{}0%", i));
     }
     let _ = writeln!(out);
-    for e in all_experiments(o) {
-        let report = e.run(&mini_cfg(k));
-        let curve = report.active_nodes_curve(10);
+    let exps = all_experiments(o);
+    let curves =
+        SweepRunner::from_opts(o).map(&exps, |e| e.run(&mini_cfg(k)).active_nodes_curve(10));
+    for (e, curve) in exps.iter().zip(&curves) {
         let _ = write!(out, "{:<8}", e.matrix.name());
         for v in curve {
             let _ = write!(out, " {:>5}", v);
@@ -643,13 +697,23 @@ pub fn fig21(o: &BenchOpts) -> String {
         "{:<8} {:>4} {:<7} {:>8} {:>8} {:>10} {:>8}",
         "Matrix", "K", "engine", "SUOpt", "SAOpt", "NetSparse", "Ideal"
     );
+    let ks = [16u32, 128];
+    let exps = all_experiments(o);
+    // One grid cell per (matrix, K): the simulation runs once and both
+    // CPU engines are derived from the same report, as in the paper.
+    let cells = sweep_grid(o, &exps, ks.len(), |e, ki| {
+        let cfg = mini_cfg(ks[ki]);
+        let report = e.run(&cfg);
+        [ComputeEngine::CpuDdr, ComputeEngine::CpuHbm]
+            .map(|engine| e.end_to_end_from(&cfg, engine, &report))
+    });
     let mut acc: Vec<(ComputeEngine, f64, f64, f64)> = Vec::new();
-    for e in all_experiments(o) {
-        for k in [16u32, 128] {
-            let cfg = mini_cfg(k);
-            let report = e.run(&cfg);
-            for engine in [ComputeEngine::CpuDdr, ComputeEngine::CpuHbm] {
-                let r = e.end_to_end_from(&cfg, engine, &report);
+    for (e, row) in exps.iter().zip(&cells) {
+        for (&k, engines) in ks.iter().zip(row) {
+            for (engine, r) in [ComputeEngine::CpuDdr, ComputeEngine::CpuHbm]
+                .into_iter()
+                .zip(engines)
+            {
                 acc.push((engine, r.speedup_su, r.speedup_sa, r.speedup_netsparse));
                 if k == 128 {
                     let _ = writeln!(
@@ -710,11 +774,16 @@ pub fn fig22(o: &BenchOpts) -> String {
         let _ = write!(out, " {:>11}", name);
     }
     let _ = writeln!(out);
-    for e in all_experiments(o) {
+    let exps = all_experiments(o);
+    let topos = figure22_topologies();
+    let cells = sweep_grid(o, &exps, topos.len(), |e, ti| {
+        let (cmp, _) = e.compare(&ClusterConfig::mini(topos[ti].1, k));
+        cmp.netsparse_over_su()
+    });
+    for (e, row) in exps.iter().zip(&cells) {
         let _ = write!(out, "{:<8}", e.matrix.name());
-        for (_, topo) in figure22_topologies() {
-            let (cmp, _) = e.compare(&ClusterConfig::mini(topo, k));
-            let _ = write!(out, " {:>11.2}", cmp.netsparse_over_su());
+        for ns in row {
+            let _ = write!(out, " {:>11.2}", ns);
         }
         let _ = writeln!(out);
     }
@@ -765,13 +834,19 @@ pub fn ext_virtual_cq(o: &BenchOpts) -> String {
         let _ = write!(out, " {:>9}K", pool.sram_bytes() / 1024);
     }
     let _ = writeln!(out);
-    for e in all_experiments(&o) {
-        let base = e.run(&mini_cfg(k)).comm_time_s();
+    let exps = all_experiments(&o);
+    // Column 0 is the dedicated-CQ baseline each row normalizes to.
+    let cells = sweep_grid(&o, &exps, 1 + pools.len(), |e, ci| {
+        let mut cfg = mini_cfg(k);
+        if ci > 0 {
+            cfg.concat_impl = ConcatImpl::Virtual(pools[ci - 1].1);
+        }
+        e.run(&cfg).comm_time_s()
+    });
+    for (e, times) in exps.iter().zip(&cells) {
+        let base = times[0];
         let _ = write!(out, "{:<8} {:>10.2}", e.matrix.name(), 1.0);
-        for (_, pool) in pools {
-            let mut cfg = mini_cfg(k);
-            cfg.concat_impl = ConcatImpl::Virtual(pool);
-            let t = e.run(&cfg).comm_time_s();
+        for t in &times[1..] {
             let _ = write!(out, " {:>10.2}", t / base);
         }
         let _ = writeln!(out);
@@ -806,29 +881,33 @@ pub fn ext_faults(o: &BenchOpts) -> String {
         let _ = write!(out, " {:>16}", format!("loss {:.1}%", r * 100.0));
     }
     let _ = writeln!(out, "   (slowdown | retries)");
-    for e in all_experiments(&o) {
+    let exps = all_experiments(&o);
+    let cells = sweep_grid(&o, &exps, rates.len(), |e, ri| {
+        let mut cfg = mini_cfg(k);
+        cfg.batch_size = 512;
+        cfg.faults = FaultConfig::builder()
+            .bernoulli_loss(rates[ri])
+            .watchdog_ns(50_000)
+            .seed(13)
+            .build()
+            .expect("static sweep config is valid");
+        let report = e.run(&cfg);
+        let retries: u64 = report.nodes.iter().map(|n| n.watchdog_retries).sum();
+        (
+            report.comm_time_s(),
+            retries,
+            report.functional_check_passed,
+        )
+    });
+    for (e, row) in exps.iter().zip(&cells) {
         let mut base = 0.0;
         let _ = write!(out, "{:<8}", e.matrix.name());
-        for r in rates {
-            let mut cfg = mini_cfg(k);
-            cfg.batch_size = 512;
-            cfg.faults = FaultConfig::builder()
-                .bernoulli_loss(r)
-                .watchdog_ns(50_000)
-                .seed(13)
-                .build()
-                .expect("static sweep config is valid");
-            let report = e.run(&cfg);
-            assert!(report.functional_check_passed, "recovery failed at {r}");
-            if r == 0.0 {
-                base = report.comm_time_s();
+        for (r, &(t, retries, passed)) in rates.iter().zip(row) {
+            assert!(passed, "recovery failed at {r}");
+            if *r == 0.0 {
+                base = t;
             }
-            let retries: u64 = report.nodes.iter().map(|n| n.watchdog_retries).sum();
-            let _ = write!(
-                out,
-                " {:>16}",
-                format!("{:.2}x | {}", report.comm_time_s() / base, retries)
-            );
+            let _ = write!(out, " {:>16}", format!("{:.2}x | {}", t / base, retries));
         }
         let _ = writeln!(out);
     }
@@ -902,21 +981,23 @@ pub fn ext_fault_sweep(o: &BenchOpts) -> String {
         "{:<14} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9}",
         "Scenario", "slowdown", "lost", "dead", "retries", "failover", "degraded"
     );
-    let mut base = 0.0f64;
-    for (name, faults) in scenarios {
+    let results = SweepRunner::from_opts(&o).map(&scenarios, |(_, faults)| {
         let mut cfg = mini_cfg(k);
         cfg.batch_size = 512;
-        cfg.faults = faults;
+        cfg.faults = faults.clone();
         let report = e.run(&cfg);
-        assert!(
+        (
+            report.comm_time_s(),
             report.functional_check_passed,
-            "recovery failed in scenario {name}"
-        );
-        let t = report.comm_time_s();
+            report.faults.clone().unwrap_or_default(),
+        )
+    });
+    let mut base = 0.0f64;
+    for ((name, _), (t, passed, fr)) in scenarios.iter().zip(results) {
+        assert!(passed, "recovery failed in scenario {name}");
         if base == 0.0 {
             base = t;
         }
-        let fr = report.faults.clone().unwrap_or_default();
         let _ = writeln!(
             out,
             "{:<14} {:>8.2}x {:>8} {:>8} {:>8} {:>9} {:>9}",
@@ -958,15 +1039,18 @@ pub fn ext_cache_policy(o: &BenchOpts) -> String {
         let _ = write!(out, " {:>8}", name);
     }
     let _ = writeln!(out);
-    for e in all_experiments(&o) {
+    let exps = all_experiments(&o);
+    let cells = sweep_grid(&o, &exps, policies.len(), |e, pi| {
+        let mut cfg = cfg_for(&o, k);
+        // Shrink the cache so the policy actually has to evict.
+        cfg.switch.cache.capacity_bytes = 256 << 10;
+        cfg.switch.cache.policy = policies[pi].1;
+        e.run(&cfg).cache_hit_rate()
+    });
+    for (e, row) in exps.iter().zip(&cells) {
         let _ = write!(out, "{:<8}", e.matrix.name());
-        for (_, policy) in policies {
-            let mut cfg = cfg_for(&o, k);
-            // Shrink the cache so the policy actually has to evict.
-            cfg.switch.cache.capacity_bytes = 256 << 10;
-            cfg.switch.cache.policy = policy;
-            let report = e.run(&cfg);
-            let _ = write!(out, " {:>7.1}%", report.cache_hit_rate() * 100.0);
+        for hit_rate in row {
+            let _ = write!(out, " {:>7.1}%", hit_rate * 100.0);
         }
         let _ = writeln!(out);
     }
@@ -996,20 +1080,26 @@ pub fn ext_adaptive(o: &BenchOpts) -> String {
         let _ = write!(out, " {:>10}", format!("fixed {b}"));
     }
     let _ = writeln!(out, " {:>12}", "adaptive 8k");
-    for e in all_experiments(&o) {
+    let exps = all_experiments(&o);
+    // Columns: the fixed batch sizes, then the adaptive run last.
+    let cells = sweep_grid(&o, &exps, fixed.len() + 1, |e, ci| {
+        let mut cfg = cfg_for(&o, k);
+        if ci < fixed.len() {
+            cfg.batch_size = fixed[ci];
+        } else {
+            cfg.batch_size = 8_192;
+            cfg.adaptive_batch = true;
+        }
+        e.run(&cfg).comm_time_s()
+    });
+    for (e, times) in exps.iter().zip(&cells) {
         let _ = write!(out, "{:<8}", e.matrix.name());
         let mut best_fixed = f64::INFINITY;
-        for b in fixed {
-            let mut cfg = cfg_for(&o, k);
-            cfg.batch_size = b;
-            let t = e.run(&cfg).comm_time_s();
+        for &t in &times[..fixed.len()] {
             best_fixed = best_fixed.min(t);
             let _ = write!(out, " {:>10.1}", t * 1e6);
         }
-        let mut cfg = cfg_for(&o, k);
-        cfg.batch_size = 8_192;
-        cfg.adaptive_batch = true;
-        let t = e.run(&cfg).comm_time_s();
+        let t = times[fixed.len()];
         let marker = if t <= best_fixed * 1.05 { "*" } else { "" };
         let _ = writeln!(out, " {:>11.1}{}", t * 1e6, marker);
     }
@@ -1038,25 +1128,31 @@ pub fn ext_latency(o: &BenchOpts) -> String {
         "{:<8} {:>8} {:>8} {:>8} {:>14}",
         "Matrix", "p50", "p90", "p99", "no-concat p50"
     );
-    for e in all_experiments(o) {
-        let report = e.run(&cfg_for(o, k));
+    let exps = all_experiments(o);
+    // Columns: the full design, then the concatenation-free variant.
+    let cells = sweep_grid(o, &exps, 2, |e, ci| {
+        let mut cfg = cfg_for(o, k);
+        if ci == 1 {
+            cfg.mechanisms.nic_concat = false;
+            cfg.mechanisms.switch_concat = false;
+        }
+        e.run(&cfg)
+    });
+    for (e, row) in exps.iter().zip(&cells) {
         let q = |r: &netsparse::SimReport, q: f64| {
             r.pr_latency_quantile(q)
                 .map(|t| t.as_us_f64())
                 .unwrap_or(0.0)
         };
-        let mut nc = cfg_for(o, k);
-        nc.mechanisms.nic_concat = false;
-        nc.mechanisms.switch_concat = false;
-        let no_concat = e.run(&nc);
+        let (report, no_concat) = (&row[0], &row[1]);
         let _ = writeln!(
             out,
             "{:<8} {:>8.2} {:>8.2} {:>8.2} {:>14.2}",
             e.matrix.name(),
-            q(&report, 0.5),
-            q(&report, 0.9),
-            q(&report, 0.99),
-            q(&no_concat, 0.5),
+            q(report, 0.5),
+            q(report, 0.9),
+            q(report, 0.99),
+            q(no_concat, 0.5),
         );
     }
     let _ = writeln!(
@@ -1089,11 +1185,15 @@ pub fn ext_kernels(o: &BenchOpts) -> String {
         let _ = write!(out, " {:>22}", format!("{name} SA/NS/ideal"));
     }
     let _ = writeln!(out);
-    for e in all_experiments(&o) {
+    let exps = all_experiments(&o);
+    let cells = sweep_grid(&o, &exps, kernels.len(), |e, ki| {
+        let kernel = kernels[ki].1;
+        let cfg = mini_cfg(kernel.k());
+        e.end_to_end_kernel(&cfg, ComputeEngine::Spade, kernel)
+    });
+    for (e, row) in exps.iter().zip(&cells) {
         let _ = write!(out, "{:<8}", e.matrix.name());
-        for (_, kernel) in kernels {
-            let cfg = mini_cfg(kernel.k());
-            let r = e.end_to_end_kernel(&cfg, ComputeEngine::Spade, kernel);
+        for r in row {
             let _ = write!(
                 out,
                 " {:>22}",
@@ -1125,21 +1225,28 @@ pub fn ext_hybrid(o: &BenchOpts) -> String {
         "{:<8} {:>8} {:>8} {:>10} {:>12}",
         "Matrix", "SAOpt", "Hybrid", "NetSparse", "NS/Hybrid"
     );
-    for e in all_experiments(o) {
+    let exps = all_experiments(o);
+    let rows = SweepRunner::from_opts(o).map(&exps, |e| {
         let cfg = mini_cfg(k);
         let (cmp, _) = e.compare(&cfg);
         let baselines = Baselines::for_line_rate(cfg.link.bandwidth_bps / 1e9);
         let hybrid = HybridOptModel::new(baselines.sa);
         let t_hybrid = hybrid.kernel_comm_time(&e.wl, k);
-        let hybrid_over_su = cmp.su_time / t_hybrid;
+        (
+            cmp.sa_over_su(),
+            cmp.su_time / t_hybrid,
+            cmp.netsparse_over_su(),
+        )
+    });
+    for (e, &(sa, hybrid_over_su, ns)) in exps.iter().zip(&rows) {
         let _ = writeln!(
             out,
             "{:<8} {:>8.2} {:>8.2} {:>10.2} {:>12.2}",
             e.matrix.name(),
-            cmp.sa_over_su(),
+            sa,
             hybrid_over_su,
-            cmp.netsparse_over_su(),
-            cmp.netsparse_over_su() / hybrid_over_su
+            ns,
+            ns / hybrid_over_su
         );
     }
     let _ = writeln!(
@@ -1167,7 +1274,8 @@ pub fn ext_partition(o: &BenchOpts) -> String {
         "{:<8} {:>19} {:>19}   (comm time | tail/mean imbalance)",
         "Matrix", "even rows", "nnz-balanced"
     );
-    for e in all_experiments(&o) {
+    let exps = all_experiments(&o);
+    let cells = SweepRunner::from_opts(&o).map(&exps, |e| {
         // Materialize the workload as a matrix and re-partition it. Note
         // the materialization merges duplicate coordinates, so absolute
         // times are not comparable to the stream-driven experiments —
@@ -1178,22 +1286,28 @@ pub fn ext_partition(o: &BenchOpts) -> String {
         let weights: Vec<u64> = (0..m.nrows()).map(|r| m.row_nnz(r) as u64).collect();
         let balanced = Partition1D::balanced(&weights, nodes);
         let cfg = mini_cfg(k);
-        let mut row = format!("{:<8}", e.matrix.name());
-        for part in [&even, &balanced] {
+        [&even, &balanced].map(|part| {
             let wl = CommWorkload::from_csr(&m, part);
             let report = netsparse::simulate(&cfg, &wl);
-            assert!(report.functional_check_passed);
             let mean_finish: f64 = report
                 .nodes
                 .iter()
                 .map(|n| n.finish.as_secs_f64())
                 .sum::<f64>()
                 / nodes as f64;
-            row.push_str(&format!(" {:>12.1}us", report.comm_time_s() * 1e6));
-            row.push_str(&format!(
-                "|{:>5.2}",
-                report.comm_time_s() / mean_finish.max(1e-12)
-            ));
+            (
+                report.comm_time_s(),
+                report.comm_time_s() / mean_finish.max(1e-12),
+                report.functional_check_passed,
+            )
+        })
+    });
+    for (e, parts) in exps.iter().zip(&cells) {
+        let mut row = format!("{:<8}", e.matrix.name());
+        for &(t, imbalance, passed) in parts {
+            assert!(passed);
+            row.push_str(&format!(" {:>12.1}us", t * 1e6));
+            row.push_str(&format!("|{:>5.2}", imbalance));
         }
         let _ = writeln!(out, "{row}");
     }
@@ -1225,25 +1339,37 @@ pub fn ext_trace(o: &BenchOpts) -> String {
         "{:<8} {:>9} {:>7} {:>18} {:>23} {:>23}",
         "Matrix", "records", "dropped", "digest", "coalesce% (q1..q4)", "cache-hit% (q1..q4)"
     );
-    for e in all_experiments(&o) {
+    let exps = all_experiments(&o);
+    // The tracer itself is single-threaded (`Rc`-based), but each traced
+    // run owns its tracer, so whole points still fan out cleanly.
+    let rows = SweepRunner::from_opts(&o).map(&exps, |e| {
         let report = e.run_traced(&mini_cfg(k), TraceConfig::default());
         let tr = report.trace.as_ref().expect("traced run carries a trace");
         let tl = TimelineMetrics::derive(&tr.buffer, 4);
-        let pct = |v: &[f64]| {
-            v.iter()
-                .map(|x| format!("{:>5.1}", x * 100.0))
-                .collect::<Vec<_>>()
-                .join(" ")
-        };
+        (
+            tr.buffer.len(),
+            tr.buffer.dropped(),
+            tr.digest,
+            tl.coalescing_ratio.clone(),
+            tl.cache_hit_rate.clone(),
+        )
+    });
+    let pct = |v: &[f64]| {
+        v.iter()
+            .map(|x| format!("{:>5.1}", x * 100.0))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    for (e, (len, dropped, digest, coalesce, cache)) in exps.iter().zip(&rows) {
         let _ = writeln!(
             out,
             "{:<8} {:>9} {:>7} {:#018x} {:>23} {:>23}",
             e.matrix.name(),
-            tr.buffer.len(),
-            tr.buffer.dropped(),
-            tr.digest,
-            pct(&tl.coalescing_ratio),
-            pct(&tl.cache_hit_rate),
+            len,
+            dropped,
+            digest,
+            pct(coalesce),
+            pct(cache),
         );
     }
     let _ = writeln!(
@@ -1264,6 +1390,7 @@ mod tests {
             scale: 0.02,
             seed: 7,
             paper_profile: false,
+            workers: 1,
         }
     }
 
@@ -1288,5 +1415,13 @@ mod tests {
         let o = tiny();
         let s = fig19(&o);
         assert!(s.contains("arabic"), "{s}");
+    }
+
+    #[test]
+    fn parallel_sweep_renders_byte_identical_tables() {
+        let serial = tiny();
+        let parallel = serial.with_workers(4);
+        assert_eq!(fig19(&serial), fig19(&parallel));
+        assert_eq!(fig12(&serial), fig12(&parallel));
     }
 }

@@ -1,0 +1,463 @@
+//! The generic simulation driver: component wiring, shared state, and the
+//! single event loop behind [`simulate`] and `simulate_traced`.
+//!
+//! The driver owns the component instances (one [`NodeState`] per rank,
+//! one [`RackState`] per switch), the transport [`Fabric`], and the
+//! [`Shared`] cross-cutting state (global latencies, the loss process,
+//! fault counters, the PR-latency reservoir, and — when compiled in — the
+//! model auditor and the structured tracer). Each delivered event is
+//! routed by [`Event::port`] to exactly one component's
+//! [`Component::handle`]; the component sees its own state as `&mut self`
+//! and everything else through [`Ctx`], so a handler *cannot* reach into
+//! another component's state — the port map is the complete coupling
+//! surface.
+//!
+//! Auditing and tracing are hooks, not forks: the same driver body runs
+//! with or without them (they compile to nothing when the features are
+//! off), which is what lets [`simulate`] and `simulate_traced` share every
+//! line of the event loop.
+
+use netsparse_desim::{Engine, Histogram, LossProcess, Reservoir, Scheduler, SimTime, SplitMix64};
+use netsparse_netsim::Element;
+use netsparse_sparse::CommWorkload;
+
+#[cfg(feature = "trace")]
+use netsparse_desim::trace::{lane, TraceConfig, TraceEvent, TraceReport, Tracer, TrackId};
+
+use crate::config::ClusterConfig;
+use crate::metrics::{FaultReport, HotLink, NodeReport, SimReport};
+use crate::sim::events::{Event, FaultAction, Port};
+use crate::sim::fabric::Fabric;
+use crate::sim::node::{build_nodes, NodeState};
+use crate::sim::rack::{build_racks, RackState};
+
+/// A component of the cluster model: handles exactly the events addressed
+/// to its port, touching only its own state and the shared context.
+pub(crate) trait Component {
+    /// Handles one event delivered at `now`.
+    fn handle(&mut self, now: SimTime, ev: Event, ctx: &mut Ctx<'_, '_, '_>);
+}
+
+/// Everything a component may touch besides its own state: the (immutable)
+/// configuration and workload, the transport fabric, the shared
+/// cross-cutting state, and the scheduler for follow-up events.
+pub(crate) struct Ctx<'r, 'w, 'q> {
+    pub(crate) cfg: &'w ClusterConfig,
+    pub(crate) wl: &'w CommWorkload,
+    pub(crate) fabric: &'r mut Fabric,
+    pub(crate) shared: &'r mut Shared,
+    pub(crate) sched: &'r mut Scheduler<'q, Event>,
+}
+
+/// Cross-cutting run state shared by every component: precomputed global
+/// latencies, the packet-loss process, fault accounting, the PR round-trip
+/// reservoir, and the (feature-gated) audit/trace hooks.
+pub(crate) struct Shared {
+    /// Property payload bytes (`k * 4`).
+    pub(crate) payload: u32,
+    /// Property-Cache probe latency (edge switches).
+    pub(crate) cache_lat: SimTime,
+    /// Baseline switch traversal latency.
+    pub(crate) switch_lat: SimTime,
+    /// One-way PCIe latency.
+    pub(crate) pcie_lat: SimTime,
+    /// The configured packet-loss process (applied per switch traversal).
+    pub(crate) loss: LossProcess,
+    /// Cached `loss.is_lossy()`: skips the RNG entirely when loss is off.
+    pub(crate) loss_active: bool,
+    /// Deterministic jitter source for watchdog backoff.
+    pub(crate) jitter_rng: SplitMix64,
+    /// Fault/recovery accounting, folded into the report.
+    pub(crate) faults: FaultReport,
+    /// Reservoir sample of PR round-trip latencies (ps).
+    pub(crate) pr_latency: Reservoir,
+    /// Model-level conservation ledger ("pr" issued/resolved/abandoned).
+    #[cfg(any(debug_assertions, feature = "audit"))]
+    pub(crate) audit: netsparse_desim::Auditor,
+    /// Structured tracer, when one is attached.
+    #[cfg(feature = "trace")]
+    pub(crate) tracer: Option<Tracer>,
+}
+
+impl Shared {
+    /// Precomputes the shared run state from the configuration.
+    pub(crate) fn new(cfg: &ClusterConfig) -> Self {
+        Shared {
+            payload: cfg.payload_bytes(),
+            cache_lat: cfg
+                .switch_clock()
+                .cycles(cfg.switch.cache.latency_cycles as u64),
+            switch_lat: cfg.switch_latency(),
+            pcie_lat: cfg.pcie_latency(),
+            loss: LossProcess::new(cfg.faults.loss, cfg.faults.seed ^ 0x10DD_F00D),
+            loss_active: cfg.faults.loss.is_lossy(),
+            jitter_rng: SplitMix64::new(cfg.faults.seed ^ 0x0BAC_C0FF),
+            faults: FaultReport::default(),
+            pr_latency: Reservoir::new(4_096, 0x01A7_E0C1),
+            #[cfg(any(debug_assertions, feature = "audit"))]
+            audit: netsparse_desim::Auditor::new(),
+            #[cfg(feature = "trace")]
+            tracer: None,
+        }
+    }
+
+    /// Records a trace event if a tracer is attached.
+    #[cfg(feature = "trace")]
+    #[inline]
+    pub(crate) fn trace(&self, track: TrackId, event: TraceEvent) {
+        if let Some(tr) = &self.tracer {
+            tr.record(track, event);
+        }
+    }
+}
+
+/// The assembled cluster: components, fabric, shared state, and the
+/// resolved fault schedule awaiting injection into the engine.
+struct World<'a> {
+    cfg: &'a ClusterConfig,
+    wl: &'a CommWorkload,
+    nodes: Vec<NodeState>,
+    racks: Vec<RackState>,
+    fabric: Fabric,
+    shared: Shared,
+    pending_transitions: Vec<(SimTime, FaultAction)>,
+}
+
+impl<'a> World<'a> {
+    fn new(cfg: &'a ClusterConfig, wl: &'a CommWorkload) -> Self {
+        let fabric = Fabric::new(cfg);
+        assert_eq!(
+            fabric.net.nodes(),
+            wl.nodes(),
+            "workload node count must match the topology"
+        );
+        let pending_transitions = fabric.resolve_fault_schedule(cfg);
+        let nodes = build_nodes(cfg, wl);
+        let racks = build_racks(cfg, fabric.net.switches());
+        World {
+            cfg,
+            wl,
+            nodes,
+            racks,
+            fabric,
+            shared: Shared::new(cfg),
+            pending_transitions,
+        }
+    }
+
+    /// Wires `tracer` into every instrumented component: RIG units, NIC
+    /// and switch concatenation points, Property-Cache banks, and the
+    /// *network* links (PCIe links are excluded so that the sum of
+    /// `link_tx` bytes replays to exactly `total_link_bytes`).
+    #[cfg(feature = "trace")]
+    fn attach_tracer(&mut self, tracer: &Tracer) {
+        for st in &mut self.nodes {
+            let p = st.id;
+            for u in &mut st.units {
+                u.rig.set_tracer(tracer.clone());
+            }
+            st.concat
+                .set_tracer(tracer.clone(), TrackId::node(p, lane::CONCAT));
+        }
+        for st in &mut self.racks {
+            st.concat
+                .set_tracer(tracer.clone(), TrackId::switch(st.id, lane::CONCAT));
+            st.pipes
+                .set_tracer(tracer.clone(), TrackId::switch(st.id, lane::CACHE));
+        }
+        for (i, link) in self.fabric.links.iter_mut().enumerate() {
+            link.set_tracer(tracer.clone(), TrackId::link(i as u32));
+        }
+        self.shared.tracer = Some(tracer.clone());
+    }
+
+    /// Routes one event to the component that owns its port.
+    fn dispatch(&mut self, now: SimTime, ev: Event, sched: &mut Scheduler<'_, Event>) {
+        // Advance the tracer's stamp clock once per delivered event; every
+        // component record within this event carries this (monotone) time.
+        #[cfg(feature = "trace")]
+        if let Some(tr) = &self.shared.tracer {
+            tr.set_now(now);
+        }
+        let mut ctx = Ctx {
+            cfg: self.cfg,
+            wl: self.wl,
+            fabric: &mut self.fabric,
+            shared: &mut self.shared,
+            sched,
+        };
+        match ev.port() {
+            Port::Node(n) => self.nodes[n as usize].handle(now, ev, &mut ctx),
+            Port::Rack(s) => self.racks[s as usize].handle(now, ev, &mut ctx),
+            Port::Fabric => {
+                let Event::FaultTransition { action } = ev else {
+                    unreachable!("only fault transitions address the fabric port");
+                };
+                ctx.fabric.apply_fault(ctx.shared, action);
+            }
+        }
+    }
+
+    /// Final invariant sweep, run before the report is assembled: cache
+    /// accounting per switch, concatenators drained, link utilization
+    /// physical, and (loss-free, retry-free runs only) PR conservation.
+    #[cfg(any(debug_assertions, feature = "audit"))]
+    fn audit_end_of_run(&self, comm_end: SimTime) {
+        for s in &self.racks {
+            s.pipes.check_invariants();
+        }
+        for n in &self.nodes {
+            self.shared.audit.check(
+                n.concat.queued_prs() == 0,
+                "NIC concatenators drained at end of run",
+            );
+            self.shared.audit.check(
+                n.finish.is_none() || n.units.iter().all(|u| u.rig.outstanding() == 0),
+                "no PR outstanding on a finished node",
+            );
+        }
+        for s in &self.racks {
+            self.shared.audit.check(
+                s.concat.queued_prs() == 0,
+                "switch concatenators drained at end of run",
+            );
+        }
+        if comm_end > SimTime::ZERO {
+            for l in &self.fabric.links {
+                self.shared.audit.check(
+                    l.utilization(comm_end) <= 1.0 + 1e-9,
+                    "link utilization within line rate",
+                );
+            }
+        }
+        let retries: u64 = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.units.iter())
+            .map(|u| u.retries)
+            .sum();
+        if self.shared.audit.ledger("pr").is_some() {
+            if !self.cfg.faults.needs_watchdog() && retries == 0 {
+                // Fault-free runs must balance exactly: every issued PR
+                // resolved, nothing abandoned.
+                self.shared.audit.check_balanced("pr");
+            } else {
+                // Faulted runs conserve instead: issued PRs are resolved,
+                // abandoned by the watchdog, or still tracked (a dropped
+                // duplicate whose command completed without it).
+                let outstanding: u64 = self.nodes.iter().map(|n| n.issue_times.len() as u64).sum();
+                self.shared.audit.check_conserved("pr", outstanding);
+            }
+        }
+    }
+
+    fn into_report(mut self, events: u64, audit_digest: Option<u64>) -> SimReport {
+        let k = self.cfg.k;
+        self.shared.loss.finish();
+        let mut fr = std::mem::take(&mut self.shared.faults);
+        fr.dropped_loss = self.shared.loss.drops();
+        fr.drop_bursts = self.shared.loss.burst_lengths().clone();
+        fr.degraded_nodes = self.nodes.iter().filter(|n| n.degraded_mode).count() as u64;
+        let mut prs_per_packet = Histogram::new();
+        for n in &self.nodes {
+            prs_per_packet.merge(n.concat.prs_per_packet());
+        }
+        let mut cache_lookups = 0;
+        let mut cache_hits = 0;
+        for s in &self.racks {
+            prs_per_packet.merge(s.concat.prs_per_packet());
+            let cs = s.pipes.stats();
+            cache_lookups += cs.lookups;
+            cache_hits += cs.hits;
+        }
+        let total_link_bytes = self.fabric.links.iter().map(|l| l.bytes()).sum();
+        let comm_end = self
+            .nodes
+            .iter()
+            .filter_map(|n| n.finish)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        #[cfg(any(debug_assertions, feature = "audit"))]
+        self.audit_end_of_run(comm_end);
+        let describe = |e: Element| match e {
+            Element::Nic(n) => format!("nic {n}"),
+            Element::Switch(s) => format!("switch {}", s.0),
+        };
+        let mut ranked: Vec<(u64, u32)> = self
+            .fabric
+            .links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.bytes() > 0)
+            .map(|(i, l)| (l.bytes(), i as u32))
+            .collect();
+        ranked.sort_unstable_by(|a, b| b.cmp(a));
+        let hot_links: Vec<HotLink> = ranked
+            .into_iter()
+            .take(5)
+            .map(|(bytes, i)| {
+                let (from, to) = self.fabric.net.link_ends(netsparse_netsim::LinkId(i));
+                HotLink {
+                    from: describe(from),
+                    to: describe(to),
+                    bytes,
+                    utilization: self.fabric.links[i as usize].utilization(comm_end),
+                }
+            })
+            .collect();
+        // Worst output-queue backlog across all links, expressed in bytes
+        // at the line rate: the switch packet-buffer occupancy audit.
+        let max_backlog = self
+            .fabric
+            .links
+            .iter()
+            .map(|l| (l.max_backlog().as_secs_f64() * l.params().bandwidth_bps / 8.0) as u64)
+            .max()
+            .unwrap_or(0);
+        let mut functional = true;
+        let nodes: Vec<NodeReport> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(p, n)| {
+                if n.received != n.needed {
+                    functional = false;
+                }
+                let mut r = NodeReport {
+                    idxs_scanned: self.wl.stream(p as u32).len() as u64,
+                    responses: n.responses,
+                    duplicate_responses: n.dup_responses,
+                    rx_payload_bytes: n.rx_payload,
+                    rx_wire_bytes: self.fabric.links[self.fabric.downlink[p].0 as usize].bytes(),
+                    tx_wire_bytes: self.fabric.links[self.fabric.from_nic[p].0 .0 as usize].bytes(),
+                    finish: n.finish.unwrap_or(SimTime::ZERO),
+                    ..NodeReport::default()
+                };
+                for u in &n.units {
+                    let s = u.rig.stats();
+                    r.local += s.local;
+                    r.filtered += s.filtered;
+                    r.coalesced += s.coalesced;
+                    r.issued += s.issued;
+                    r.stalls += s.stalls;
+                    r.watchdog_retries += u.retries;
+                }
+                if n.finish.is_none() {
+                    functional = false;
+                }
+                r
+            })
+            .collect();
+        let comm_time = nodes
+            .iter()
+            .map(|n| n.finish)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        fr.watchdog_retries = nodes.iter().map(|n| n.watchdog_retries).sum();
+        let wd = self.cfg.faults.watchdog_ns;
+        if wd > 0 {
+            // Watchdog-sanity check (satellite of §7.1): a timeout below
+            // the worst-case PR round trip restarts healthy commands.
+            let est = self.cfg.estimated_worst_rtt_ns();
+            if wd < est {
+                fr.watchdog_warning = Some(format!(
+                    "watchdog_ns = {wd} is below the estimated worst-case \
+                     PR round trip of {est} ns; expect spurious restarts"
+                ));
+            }
+        }
+        let dropped_packets = fr.total_dropped();
+        let faults = if self.cfg.faults.is_active() || wd > 0 {
+            Some(fr)
+        } else {
+            None
+        };
+        // Fold the trace into the report: raw buffer, derived timeline
+        // (16 windows), and the full-trace digest.
+        #[cfg(feature = "trace")]
+        let trace = self
+            .shared
+            .tracer
+            .as_ref()
+            .map(|t| TraceReport::from_tracer(t, 16));
+        SimReport {
+            k,
+            nodes,
+            comm_time,
+            prs_per_packet,
+            cache_lookups,
+            cache_hits,
+            total_link_bytes,
+            line_rate_bps: self.cfg.link.bandwidth_bps,
+            functional_check_passed: functional,
+            events,
+            dropped_packets,
+            pr_latency: self.shared.pr_latency,
+            max_link_backlog_bytes: max_backlog,
+            hot_links,
+            audit_digest,
+            faults,
+            #[cfg(feature = "trace")]
+            trace,
+        }
+    }
+}
+
+/// Runs the communication phase of one distributed sparse kernel under
+/// `cfg` and returns the full report.
+///
+/// # Panics
+///
+/// Panics if the workload's node count differs from the topology's, or if
+/// the configuration fails [`ClusterConfig::validate`] (e.g. packet loss
+/// configured without a watchdog).
+///
+/// # Example
+///
+/// See the crate-level example.
+pub fn simulate(cfg: &ClusterConfig, wl: &CommWorkload) -> SimReport {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid cluster config: {e}");
+    }
+    let world = World::new(cfg, wl);
+    drive(world)
+}
+
+/// Runs exactly like [`simulate`] with a structured tracer attached; the
+/// returned report additionally carries a `TraceReport` (records,
+/// timeline metrics, full-trace digest). Available only under the `trace`
+/// feature — default builds compile no trace code at all.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate`].
+#[cfg(feature = "trace")]
+pub fn simulate_traced(cfg: &ClusterConfig, wl: &CommWorkload, tcfg: TraceConfig) -> SimReport {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid cluster config: {e}");
+    }
+    let mut world = World::new(cfg, wl);
+    let tracer = Tracer::new(tcfg);
+    world.attach_tracer(&tracer);
+    drive(world)
+}
+
+/// The single event-loop body behind [`simulate`] and `simulate_traced`:
+/// inject the fault schedule and the initial host stimuli, drain the
+/// queue through the port dispatcher, then assemble the report.
+fn drive(mut world: World<'_>) -> SimReport {
+    let mut engine: Engine<Event> = Engine::new();
+    for (t, action) in std::mem::take(&mut world.pending_transitions) {
+        engine.schedule(t, Event::FaultTransition { action });
+    }
+    for node in 0..world.wl.nodes() {
+        if !world.wl.stream(node).is_empty() {
+            engine.schedule(SimTime::ZERO, Event::HostIssue { node });
+        }
+    }
+    // The run drains naturally: every queued PR has an armed expiry and
+    // every outstanding PR a response in flight.
+    engine.run(|now, ev, sched| world.dispatch(now, ev, sched));
+    let digest = engine.audit_digest();
+    world.into_report(engine.processed(), digest)
+}

@@ -1,0 +1,145 @@
+//! The typed event vocabulary of the cluster simulation and its port map.
+//!
+//! Every event names the component instance it is delivered to; the
+//! [`Event::port`] mapping is the single routing table the
+//! [`driver`](super::driver) uses to dispatch events, so adding an event
+//! kind forces a (compile-checked) decision about which component owns it.
+
+use netsparse_netsim::{LinkId, SwitchId};
+use netsparse_snic::ConcatPacket;
+
+/// An event delivered to one component of the cluster model.
+pub(crate) enum Event {
+    /// The host core of `node` issues the next RIG command.
+    HostIssue {
+        /// Target node.
+        node: u32,
+    },
+    /// Client RIG unit `unit` of `node` scans its next idx chunk.
+    ClientProcess {
+        /// Target node.
+        node: u32,
+        /// Client unit within the node's SNIC.
+        unit: u16,
+    },
+    /// The NIC concatenator of `node` has queues past their delay budget.
+    NicConcatExpire {
+        /// Target node.
+        node: u32,
+    },
+    /// The concatenator of `switch` has queues past their delay budget.
+    SwitchConcatExpire {
+        /// Target switch.
+        switch: u32,
+    },
+    /// A packet arrives at `switch`.
+    PacketAtSwitch {
+        /// Target switch.
+        switch: u32,
+        /// Whether the packet entered from a directly attached NIC (the
+        /// cross-node concatenation trigger) rather than another switch.
+        from_nic: bool,
+        /// The packet.
+        pkt: ConcatPacket,
+    },
+    /// A packet arrives at the NIC of `node`.
+    PacketAtNic {
+        /// Target node.
+        node: u32,
+        /// The packet.
+        pkt: ConcatPacket,
+    },
+    /// §7.1 watchdog: fires once per RIG command issue; acts only if the
+    /// same command generation is still running.
+    Watchdog {
+        /// Target node.
+        node: u32,
+        /// Client unit within the node's SNIC.
+        unit: u16,
+        /// Command generation the timer was armed for.
+        generation: u64,
+    },
+    /// A scheduled hardware failure or repair takes effect: the failure
+    /// set is updated and every route is recomputed over the survivors.
+    FaultTransition {
+        /// The resolved failure or repair.
+        action: FaultAction,
+    },
+}
+
+/// A resolved fault-schedule entry (config targets are mapped to concrete
+/// netsim ids once, at construction).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FaultAction {
+    /// A switch dies.
+    FailSwitch(SwitchId),
+    /// A switch comes back.
+    RepairSwitch(SwitchId),
+    /// A link dies.
+    FailLink(LinkId),
+    /// A link comes back.
+    RepairLink(LinkId),
+}
+
+/// The component instance an event is addressed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Port {
+    /// A host + SNIC node component (`sim::node`).
+    Node(u32),
+    /// A switch component (`sim::rack`).
+    Rack(u32),
+    /// The network fabric itself (`sim::fabric`): fault transitions.
+    Fabric,
+}
+
+impl Event {
+    /// The port this event is delivered to.
+    pub(crate) fn port(&self) -> Port {
+        match *self {
+            Event::HostIssue { node }
+            | Event::ClientProcess { node, .. }
+            | Event::NicConcatExpire { node }
+            | Event::PacketAtNic { node, .. }
+            | Event::Watchdog { node, .. } => Port::Node(node),
+            Event::PacketAtSwitch { switch, .. } | Event::SwitchConcatExpire { switch } => {
+                Port::Rack(switch)
+            }
+            Event::FaultTransition { .. } => Port::Fabric,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_route_to_their_owning_component() {
+        assert_eq!(Event::HostIssue { node: 3 }.port(), Port::Node(3));
+        assert_eq!(
+            Event::ClientProcess { node: 1, unit: 2 }.port(),
+            Port::Node(1)
+        );
+        assert_eq!(Event::NicConcatExpire { node: 5 }.port(), Port::Node(5));
+        assert_eq!(
+            Event::Watchdog {
+                node: 4,
+                unit: 0,
+                generation: 9
+            }
+            .port(),
+            Port::Node(4)
+        );
+        assert_eq!(
+            Event::SwitchConcatExpire { switch: 7 }.port(),
+            Port::Rack(7)
+        );
+        assert_eq!(
+            Event::FaultTransition {
+                action: FaultAction::FailSwitch(SwitchId(0))
+            }
+            .port(),
+            Port::Fabric
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! The rack component: one switch (ToR or spine) with its NetSparse
+//! extensions.
+//!
+//! A [`RackState`] owns a switch's middle-pipeline model (Property Cache
+//! banks), its cross-node concatenation point, and the NetSparse
+//! enablement flag. Edge (ToR) switches deconcatenate arriving packets,
+//! probe/fill the cache for inter-rack properties, and reconcatenate;
+//! spines (and every switch when the mechanisms are off) forward packets
+//! verbatim through the [`Fabric`](super::fabric::Fabric). Ingress fault
+//! handling — dead-switch blackholing and the configured loss process —
+//! also happens here, before any processing, exactly once per traversal.
+
+use netsparse_desim::{Scheduler, SimTime};
+use netsparse_snic::{ConcatConfig, ConcatPacket, ConcatPoint, PrKind};
+use netsparse_switch::MiddlePipes;
+
+#[cfg(feature = "trace")]
+use netsparse_desim::trace::{lane, DropReason, TraceEvent, TrackId};
+
+use netsparse_netsim::SwitchId;
+
+use crate::config::ClusterConfig;
+use crate::sim::driver::{Component, Ctx};
+use crate::sim::events::Event;
+use crate::sim::node::concat_point;
+
+/// One switch of the cluster: the component bound to `Port::Rack(id)`.
+pub(crate) struct RackState {
+    /// This switch's id (netsim switch index).
+    pub(crate) id: u32,
+    pub(crate) pipes: MiddlePipes,
+    pub(crate) concat: ConcatPoint,
+    pub(crate) concat_sched: Option<SimTime>,
+    /// Whether this switch runs the NetSparse extensions (edge switches
+    /// with the mechanisms enabled).
+    pub(crate) netsparse: bool,
+}
+
+/// Builds every switch component of the cluster (`n_switches` of them,
+/// ToRs first, matching netsim's switch numbering).
+pub(crate) fn build_racks(cfg: &ClusterConfig, n_switches: u32) -> Vec<RackState> {
+    let payload = cfg.payload_bytes();
+    let switch_concat_cfg = ConcatConfig {
+        headers: cfg.headers,
+        mtu: cfg.snic.mtu,
+        delay: cfg.switch_concat_delay(),
+        enabled: cfg.mechanisms.switch_concat,
+    };
+    let cache_bytes = if cfg.mechanisms.property_cache {
+        cfg.switch.cache.capacity_bytes
+    } else {
+        0
+    };
+    (0..n_switches)
+        .map(|s| {
+            let edge = cfg.topology.is_edge_switch(SwitchId(s));
+            let mut sw_cfg = cfg.switch;
+            sw_cfg.cache.capacity_bytes = cache_bytes;
+            RackState {
+                id: s,
+                pipes: if edge {
+                    MiddlePipes::new(&sw_cfg, payload.max(1))
+                } else {
+                    // Non-edge switches carry no NetSparse extensions.
+                    sw_cfg.cache.capacity_bytes = 0;
+                    MiddlePipes::new(&sw_cfg, payload.max(1))
+                },
+                concat: concat_point(switch_concat_cfg, cfg.concat_impl),
+                concat_sched: None,
+                netsparse: edge && cfg.mechanisms.netsparse_switch(),
+            }
+        })
+        .collect()
+}
+
+impl Component for RackState {
+    fn handle(&mut self, now: SimTime, ev: Event, ctx: &mut Ctx<'_, '_, '_>) {
+        match ev {
+            Event::PacketAtSwitch { from_nic, pkt, .. } => {
+                self.packet_at_switch(now, from_nic, pkt, ctx);
+            }
+            Event::SwitchConcatExpire { .. } => self.concat_expire(now, ctx),
+            _ => unreachable!("event routed to the wrong port"),
+        }
+    }
+}
+
+impl RackState {
+    /// (Re-)schedules the earliest pending concatenator expiry.
+    fn arm_concat(&mut self, sched: &mut Scheduler<'_, Event>) {
+        if let Some(t) = self.concat.next_expiry() {
+            let t = t.max(sched.now());
+            if self.concat_sched.is_none_or(|cur| t < cur) {
+                self.concat_sched = Some(t);
+                sched.schedule(t, Event::SwitchConcatExpire { switch: self.id });
+            }
+        }
+    }
+
+    /// Flushes expired concatenation queues onto the forwarding path.
+    fn concat_expire(&mut self, now: SimTime, ctx: &mut Ctx<'_, '_, '_>) {
+        self.concat_sched = None;
+        let pkts = self.concat.flush_expired(now);
+        for p in pkts {
+            ctx.fabric
+                .send_from_switch(ctx.shared, self.id, now, p, ctx.sched);
+        }
+        self.arm_concat(ctx.sched);
+    }
+
+    fn packet_at_switch(
+        &mut self,
+        now: SimTime,
+        from_nic: bool,
+        pkt: ConcatPacket,
+        ctx: &mut Ctx<'_, '_, '_>,
+    ) {
+        let sw = self.id;
+        // §7.1 hardware faults: a dead switch blackholes everything it
+        // receives; surviving packets then face the configured loss
+        // process (Bernoulli or Gilbert–Elliott bursts) per traversal.
+        // Detection/recovery is the RIG watchdog.
+        if ctx.fabric.failures.switch_dead(SwitchId(sw)) {
+            ctx.shared.faults.dropped_dead += 1;
+            #[cfg(feature = "trace")]
+            ctx.shared.trace(
+                TrackId::switch(sw, lane::FAULT),
+                TraceEvent::PacketDropped {
+                    reason: DropReason::Dead,
+                    prs: pkt.prs.len() as u32,
+                },
+            );
+            return;
+        }
+        if ctx.shared.loss_active && ctx.shared.loss.drop_packet() {
+            #[cfg(feature = "trace")]
+            ctx.shared.trace(
+                TrackId::switch(sw, lane::FAULT),
+                TraceEvent::PacketDropped {
+                    reason: DropReason::Loss,
+                    prs: pkt.prs.len() as u32,
+                },
+            );
+            return; // counted by the loss process, surfaced in FaultReport
+        }
+        let t = now + ctx.shared.switch_lat;
+        let topo = ctx.fabric.topology();
+        let process =
+            !pkt.degraded && self.netsparse && (from_nic || topo.edge_switch_of(pkt.dest).0 == sw);
+        if !process {
+            ctx.fabric
+                .send_from_switch(ctx.shared, sw, t, pkt, ctx.sched);
+            return;
+        }
+
+        let cache_on = ctx.cfg.mechanisms.property_cache;
+        let payload = ctx.shared.payload;
+        let t_pr = if cache_on {
+            t + ctx.shared.cache_lat
+        } else {
+            t
+        };
+        let wl = ctx.wl;
+        let partition = wl.partition();
+        let mut out: Vec<(SimTime, ConcatPacket)> = Vec::new();
+        {
+            let st = &mut *self;
+            match pkt.kind {
+                PrKind::Read => {
+                    let home = pkt.dest;
+                    let cacheable =
+                        cache_on && st.pipes.enabled() && topo.edge_switch_of(home).0 != sw;
+                    for pr in pkt.prs {
+                        if cacheable && st.pipes.lookup(home, pr.idx) {
+                            // Hit: the read becomes a response to its source.
+                            for p in
+                                st.concat
+                                    .push(t_pr, pr.src_node, PrKind::Response, pr, payload)
+                            {
+                                out.push((t_pr, p));
+                            }
+                        } else {
+                            for p in st.concat.push(t_pr, home, PrKind::Read, pr, 0) {
+                                out.push((t_pr, p));
+                            }
+                        }
+                    }
+                }
+                PrKind::Response => {
+                    let requester = pkt.dest;
+                    for pr in pkt.prs {
+                        let home = partition.owner(pr.idx);
+                        if cache_on && st.pipes.enabled() && topo.edge_switch_of(home).0 != sw {
+                            st.pipes.insert(home, pr.idx);
+                        }
+                        for p in st
+                            .concat
+                            .push(t_pr, requester, PrKind::Response, pr, payload)
+                        {
+                            out.push((t_pr, p));
+                        }
+                    }
+                }
+            }
+        }
+        for (at, p) in out {
+            ctx.fabric
+                .send_from_switch(ctx.shared, sw, at, p, ctx.sched);
+        }
+        self.arm_concat(ctx.sched);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::driver::Shared;
+    use crate::sim::fabric::Fabric;
+    use netsparse_desim::EventQueue;
+    use netsparse_netsim::Topology;
+    use netsparse_snic::Pr;
+    use netsparse_sparse::{CommWorkload, Partition1D};
+
+    fn topo() -> Topology {
+        Topology::LeafSpine {
+            racks: 2,
+            rack_size: 4,
+            spines: 2,
+        }
+    }
+
+    fn workload() -> CommWorkload {
+        let part = Partition1D::even(8 * 16, 8);
+        CommWorkload::from_streams(part, vec![16; 8], vec![vec![]; 8])
+    }
+
+    fn pr(idx: u32) -> Pr {
+        Pr {
+            src_node: 0,
+            src_tid: 0,
+            idx,
+            req_id: 1,
+        }
+    }
+
+    /// The rack component is testable in isolation: a response PR crossing
+    /// a ToR fills the Property Cache for its (remote) home, and a
+    /// subsequent read for the same idx hits instead of being forwarded.
+    #[test]
+    fn cache_fills_on_response_and_hits_on_read_in_isolation() {
+        let cfg = ClusterConfig::mini(topo(), 16);
+        let wl = workload();
+        let mut fabric = Fabric::new(&cfg);
+        let mut shared = Shared::new(&cfg);
+        let mut racks = build_racks(&cfg, fabric.net.switches());
+        let tor = &mut racks[0];
+        assert!(tor.netsparse, "mini config must enable the edge extensions");
+
+        // idx 64 is owned by node 4 (rack 1): remote from ToR 0's rack.
+        let idx = 64;
+        assert_eq!(wl.partition().owner(idx), 4);
+
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        {
+            let mut sched = netsparse_desim::Scheduler::at(&mut queue, SimTime::ZERO);
+            let mut ctx = Ctx {
+                cfg: &cfg,
+                wl: &wl,
+                fabric: &mut fabric,
+                shared: &mut shared,
+                sched: &mut sched,
+            };
+            // A response for idx 64 headed back to requester 0 crosses
+            // ToR 0 and fills the cache line for home 4.
+            let resp = ConcatPacket::degraded_singleton(
+                &cfg.headers,
+                0,
+                PrKind::Response,
+                pr(idx),
+                cfg.payload_bytes(),
+            );
+            // Force it through the processing path (degraded packets skip
+            // it by design).
+            let resp = ConcatPacket {
+                degraded: false,
+                ..resp
+            };
+            tor.packet_at_switch(SimTime::ZERO, false, resp, &mut ctx);
+            assert_eq!(
+                tor.pipes.stats().insertions,
+                1,
+                "response must fill the cache"
+            );
+
+            // A read for the same idx entering from a local NIC now hits.
+            let read = ConcatPacket::degraded_singleton(&cfg.headers, 4, PrKind::Read, pr(idx), 0);
+            let read = ConcatPacket {
+                degraded: false,
+                ..read
+            };
+            tor.packet_at_switch(SimTime::ZERO, true, read, &mut ctx);
+            let stats = tor.pipes.stats();
+            assert_eq!(stats.lookups, 1);
+            assert_eq!(stats.hits, 1, "second reference must be served by the ToR");
+        }
+    }
+
+    /// A spine never processes: packets forward through the fabric
+    /// untouched, leaving its cache pipeline idle.
+    #[test]
+    fn spine_forwards_without_processing() {
+        let cfg = ClusterConfig::mini(topo(), 16);
+        let wl = workload();
+        let mut fabric = Fabric::new(&cfg);
+        let mut shared = Shared::new(&cfg);
+        let mut racks = build_racks(&cfg, fabric.net.switches());
+        // Leaf-spine 2x4: switches 0..2 are ToRs, 2..4 spines.
+        let spine = &mut racks[2];
+        assert!(!spine.netsparse);
+
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        {
+            let mut sched = netsparse_desim::Scheduler::at(&mut queue, SimTime::ZERO);
+            let mut ctx = Ctx {
+                cfg: &cfg,
+                wl: &wl,
+                fabric: &mut fabric,
+                shared: &mut shared,
+                sched: &mut sched,
+            };
+            let read = ConcatPacket::degraded_singleton(&cfg.headers, 4, PrKind::Read, pr(64), 0);
+            let read = ConcatPacket {
+                degraded: false,
+                ..read
+            };
+            spine.packet_at_switch(SimTime::ZERO, false, read, &mut ctx);
+        }
+        assert_eq!(spine.pipes.stats().lookups, 0);
+        assert_eq!(queue.len(), 1, "the packet must be forwarded onward");
+    }
+}

@@ -116,6 +116,18 @@ pub struct Scheduler<'a, E> {
     now: SimTime,
 }
 
+impl<'a, E> Scheduler<'a, E> {
+    /// Creates a standalone scheduler view over `queue`, frozen at `now`.
+    ///
+    /// The [`Engine`] run loop constructs schedulers internally; this
+    /// constructor exists for component test benches that drive a single
+    /// handler against a bare queue without an engine.
+    #[must_use]
+    pub fn at(queue: &'a mut EventQueue<E>, now: SimTime) -> Self {
+        Scheduler { queue, now }
+    }
+}
+
 impl<E> Scheduler<'_, E> {
     /// The current simulation time.
     #[inline]
@@ -191,6 +203,7 @@ impl<E> Engine<E> {
 
     /// Limits the total number of events processed by [`Engine::run`];
     /// useful as a runaway guard in tests.
+    #[must_use]
     pub fn with_max_events(mut self, max: u64) -> Self {
         self.max_events = Some(max);
         self
@@ -198,6 +211,7 @@ impl<E> Engine<E> {
 
     /// Stops the run loop once simulated time passes `horizon` (events at
     /// exactly `horizon` still run).
+    #[must_use]
     pub fn with_horizon(mut self, horizon: SimTime) -> Self {
         self.horizon = horizon;
         self
@@ -389,6 +403,19 @@ mod tests {
             }
         });
         assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn standalone_scheduler_pushes_into_a_bare_queue() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        {
+            let mut sched = Scheduler::at(&mut q, SimTime::from_ns(5));
+            assert_eq!(sched.now(), SimTime::from_ns(5));
+            sched.schedule_now(1);
+            sched.schedule(SimTime::from_ns(9), 2);
+        }
+        assert_eq!(q.pop(), Some((SimTime::from_ns(5), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(9), 2)));
     }
 
     #[test]

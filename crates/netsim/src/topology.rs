@@ -128,6 +128,7 @@ impl Topology {
     }
 
     /// Total cluster nodes.
+    #[must_use]
     pub fn nodes(&self) -> u32 {
         match *self {
             Topology::LeafSpine {
@@ -147,6 +148,7 @@ impl Topology {
     }
 
     /// Total switches.
+    #[must_use]
     pub fn switches(&self) -> u32 {
         match *self {
             Topology::LeafSpine { racks, spines, .. } => racks + spines,
@@ -160,6 +162,7 @@ impl Topology {
     }
 
     /// The edge switch (ToR equivalent) each node attaches to.
+    #[must_use]
     pub fn edge_switch_of(&self, node: u32) -> SwitchId {
         match *self {
             Topology::LeafSpine { rack_size, .. } => SwitchId(node / rack_size),
@@ -174,6 +177,7 @@ impl Topology {
 
     /// Whether switch `s` has hosts attached (NetSparse extensions are
     /// deployed only in such switches).
+    #[must_use]
     pub fn is_edge_switch(&self, s: SwitchId) -> bool {
         match *self {
             Topology::LeafSpine { racks, .. } => s.0 < racks,
@@ -319,11 +323,13 @@ impl Network {
     }
 
     /// Number of nodes.
+    #[must_use]
     pub fn nodes(&self) -> u32 {
         self.nodes
     }
 
     /// Number of switches.
+    #[must_use]
     pub fn switches(&self) -> u32 {
         self.topo.switches()
     }
@@ -339,6 +345,7 @@ impl Network {
     }
 
     /// The edge switch of a node.
+    #[must_use]
     pub fn edge_switch_of(&self, node: u32) -> SwitchId {
         self.topo.edge_switch_of(node)
     }

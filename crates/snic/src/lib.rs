@@ -18,6 +18,8 @@
 //!   packets (§6.1),
 //! - [`vconcat`] — the §7.2 extension: concatenation with a fixed pool of
 //!   virtualized sub-MTU queues instead of per-destination SRAM,
+//! - [`point`] — [`ConcatPoint`], the uniform interface over dedicated and
+//!   virtualized concatenation used by every NIC and switch component,
 //! - [`config`] — the SNIC parameters of Table 5.
 //!
 //! The event-driven composition of these pieces into a full cluster lives
@@ -32,6 +34,7 @@ pub mod concat;
 pub mod config;
 pub mod filter;
 pub mod pending;
+pub mod point;
 pub mod protocol;
 pub mod rig;
 pub mod vconcat;
@@ -41,5 +44,6 @@ pub use concat::{ConcatConfig, ConcatPacket, Concatenator};
 pub use config::SnicConfig;
 pub use filter::IdxFilter;
 pub use pending::PendingTable;
+pub use point::ConcatPoint;
 pub use protocol::{HeaderSpec, Pr, PrKind};
 pub use rig::{IdxOutcome, RigClient};

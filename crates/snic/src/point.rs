@@ -1,0 +1,141 @@
+//! A concatenation point of either implementation, behind one interface.
+//!
+//! The cluster model instantiates a concatenation stage at every NIC and
+//! every switch; whether that stage is backed by dedicated per-destination
+//! CQs (§6.1.2, [`Concatenator`]) or by the virtualized fixed pool (§7.2,
+//! [`VirtualConcatenator`]) is a configuration choice that must not leak
+//! into the event loop. `ConcatPoint` erases the difference so components
+//! up the stack (`sim::node`, `sim::rack` in the core crate) speak one
+//! push/expire/flush protocol.
+
+#[cfg(feature = "trace")]
+use netsparse_desim::trace::{Tracer, TrackId};
+use netsparse_desim::{Histogram, SimTime};
+
+use crate::concat::{ConcatConfig, ConcatPacket, Concatenator};
+use crate::protocol::{Pr, PrKind};
+use crate::vconcat::{VirtualConcatenator, VirtualCqConfig};
+
+/// A concatenation stage of either implementation (§6.1.2 dedicated CQs
+/// or §7.2 virtualized CQs), with a uniform interface for event loops.
+pub enum ConcatPoint {
+    /// One MTU-sized CQ per `(destination, type)` pair.
+    Dedicated(Concatenator),
+    /// A fixed pool of virtualized sub-MTU physical CQs.
+    Virtual(VirtualConcatenator),
+}
+
+impl ConcatPoint {
+    /// A dedicated-CQ concatenation point.
+    #[must_use]
+    pub fn dedicated(cfg: ConcatConfig) -> Self {
+        ConcatPoint::Dedicated(Concatenator::new(cfg))
+    }
+
+    /// A virtualized-CQ concatenation point drawing from `pool`.
+    #[must_use]
+    pub fn virtualized(cfg: ConcatConfig, pool: VirtualCqConfig) -> Self {
+        ConcatPoint::Virtual(VirtualConcatenator::new(cfg, pool))
+    }
+
+    /// Pushes one PR toward `dest`; returns any packets sealed by the push
+    /// (an MTU fill, or a displaced queue in the virtual implementation).
+    pub fn push(
+        &mut self,
+        now: SimTime,
+        dest: u32,
+        kind: PrKind,
+        pr: Pr,
+        payload: u32,
+    ) -> Vec<ConcatPacket> {
+        match self {
+            ConcatPoint::Dedicated(c) => c.push(now, dest, kind, pr, payload).into_iter().collect(),
+            ConcatPoint::Virtual(c) => c.push(now, dest, kind, pr, payload),
+        }
+    }
+
+    /// The earliest pending delay-budget expiry, if any PRs are queued.
+    pub fn next_expiry(&mut self) -> Option<SimTime> {
+        match self {
+            ConcatPoint::Dedicated(c) => c.next_expiry(),
+            ConcatPoint::Virtual(c) => c.next_expiry(),
+        }
+    }
+
+    /// Seals and returns every queue whose delay budget has expired.
+    pub fn flush_expired(&mut self, now: SimTime) -> Vec<ConcatPacket> {
+        match self {
+            ConcatPoint::Dedicated(c) => c.flush_expired(now),
+            ConcatPoint::Virtual(c) => c.flush_expired(now),
+        }
+    }
+
+    /// Histogram of PRs per sealed packet.
+    #[must_use]
+    pub fn prs_per_packet(&self) -> &Histogram {
+        match self {
+            ConcatPoint::Dedicated(c) => c.prs_per_packet(),
+            ConcatPoint::Virtual(c) => c.prs_per_packet(),
+        }
+    }
+
+    /// PRs still waiting in concatenation queues (must be zero once a run
+    /// drains; checked by the runtime auditor).
+    #[must_use]
+    pub fn queued_prs(&self) -> usize {
+        match self {
+            ConcatPoint::Dedicated(c) => c.queued_prs(),
+            ConcatPoint::Virtual(c) => c.queued_prs(),
+        }
+    }
+
+    /// Attaches a structured tracer recording onto `track`.
+    #[cfg(feature = "trace")]
+    pub fn set_tracer(&mut self, tracer: Tracer, track: TrackId) {
+        match self {
+            ConcatPoint::Dedicated(c) => c.set_tracer(tracer, track),
+            ConcatPoint::Virtual(c) => c.set_tracer(tracer, track),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ConcatConfig {
+        ConcatConfig {
+            headers: crate::HeaderSpec::paper(),
+            mtu: 256,
+            delay: SimTime::from_ns(100),
+            enabled: true,
+        }
+    }
+
+    fn pr(idx: u32) -> Pr {
+        Pr {
+            src_node: 0,
+            src_tid: 0,
+            req_id: idx,
+            idx,
+        }
+    }
+
+    #[test]
+    fn both_implementations_share_the_interface() {
+        let mut points = [
+            ConcatPoint::dedicated(cfg()),
+            ConcatPoint::virtualized(cfg(), VirtualCqConfig::paper_sketch()),
+        ];
+        for p in &mut points {
+            let sealed = p.push(SimTime::ZERO, 1, PrKind::Read, pr(7), 0);
+            assert!(sealed.is_empty(), "one PR must not fill an MTU");
+            assert_eq!(p.queued_prs(), 1);
+            let t = p.next_expiry().expect("a queued PR arms an expiry");
+            let flushed = p.flush_expired(t);
+            assert_eq!(flushed.len(), 1);
+            assert_eq!(p.queued_prs(), 0);
+            assert_eq!(p.prs_per_packet().count(), 1);
+        }
+    }
+}

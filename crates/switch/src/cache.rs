@@ -250,6 +250,7 @@ impl PropertyCache {
     }
 
     /// Accumulated statistics.
+    #[must_use]
     pub fn stats(&self) -> CacheStats {
         self.stats
     }

@@ -106,6 +106,7 @@ impl MiddlePipes {
     }
 
     /// Whether any cache exists (false under the no-cache ablation).
+    #[must_use]
     pub fn enabled(&self) -> bool {
         !self.banks.is_empty()
     }
@@ -120,6 +121,7 @@ impl MiddlePipes {
     }
 
     /// The bank index serving properties homed at `home`.
+    #[must_use]
     pub fn bank_of(&self, home: u32) -> usize {
         (home as usize) % self.banks.len().max(1)
     }
@@ -143,6 +145,7 @@ impl MiddlePipes {
     }
 
     /// Aggregated statistics across banks.
+    #[must_use]
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
         for b in &self.banks {

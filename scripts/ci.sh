@@ -9,8 +9,12 @@
 # test suite (runtime auditor active via debug_assertions), the tier-1
 # release build + tests, the fault-recovery suite under the release
 # auditor (see docs/FAULTS.md), the structured-tracing suites with the
-# `trace` feature on (see docs/OBSERVABILITY.md), and smoke runs of the
-# ext_fault_sweep and ext_trace extension experiments.
+# `trace` feature on (see docs/OBSERVABILITY.md), smoke runs of the
+# ext_fault_sweep and ext_trace extension experiments, the
+# serial-vs-parallel sweep equivalence suite, and a timed
+# `repro_all --parallel` smoke via `bench_sweep`, which emits
+# BENCH_sweep.json with serial vs parallel wall-clock (see
+# docs/ARCHITECTURE.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,6 +45,12 @@ if [[ "$fast" -eq 0 ]]; then
         --test trace_golden --test trace_consistency --test trace_exporters \
         --test protocol_properties
     run cargo run --release -q -p netsparse-bench --features trace --bin ext_trace -- --scale 0.05
+    # Parallel sweeps must be byte-identical to serial at any worker
+    # count, audit digests included (see docs/ARCHITECTURE.md).
+    run cargo test -q -p netsparse-tests --features audit --release --test sweep_parallel
+    # Timed serial-vs-parallel repro smoke: asserts byte-equality and
+    # records both wall-clocks in BENCH_sweep.json.
+    run cargo run --release -q -p netsparse-bench --bin bench_sweep -- --scale 0.1
 fi
 
 echo "ci: all checks passed"

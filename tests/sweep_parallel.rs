@@ -1,0 +1,99 @@
+//! Serial-vs-parallel sweep equivalence.
+//!
+//! The bench crate's `SweepRunner` promises that fanning a sweep's
+//! independent points across threads changes wall-clock only: results
+//! come back in submission order, and every simulation inside a point is
+//! bit-identical to what a serial loop would have produced. This suite
+//! pins that contract at two levels:
+//!
+//! - raw simulation points: same-seed sweeps at 1, 2, and 8 workers must
+//!   yield identical `SimReport` sequences — including the engine's
+//!   audit digests when auditing is compiled in;
+//! - rendered tables: a representative figure must render byte-identical
+//!   text at any worker count.
+
+use netsparse::prelude::*;
+use netsparse_bench::{tables, BenchOpts, SweepRunner};
+use netsparse_desim::SimTime;
+use netsparse_sparse::suite::SuiteConfig;
+use netsparse_sparse::SuiteMatrix;
+
+/// Everything observable about one simulated point, cheap to compare.
+#[derive(Debug, PartialEq)]
+struct PointResult {
+    comm_time: SimTime,
+    total_link_bytes: u64,
+    events: u64,
+    audit_digest: Option<u64>,
+    functional_check_passed: bool,
+    node_finishes: Vec<SimTime>,
+}
+
+/// One sweep point: workload seed and property size derived from the
+/// submission index alone, exactly how the bench tables parameterize
+/// their grids.
+fn run_point(i: usize) -> PointResult {
+    let wl = SuiteConfig {
+        matrix: SuiteMatrix::Queen,
+        nodes: 8,
+        rack_size: 4,
+        scale: 0.05,
+        seed: 100 + i as u64,
+    }
+    .generate();
+    let topo = Topology::LeafSpine {
+        racks: 2,
+        rack_size: 4,
+        spines: 2,
+    };
+    let k = [1u32, 16, 128][i % 3];
+    let report = netsparse::simulate(&ClusterConfig::mini(topo, k), &wl);
+    PointResult {
+        comm_time: report.comm_time,
+        total_link_bytes: report.total_link_bytes,
+        events: report.events,
+        audit_digest: report.audit_digest,
+        functional_check_passed: report.functional_check_passed,
+        node_finishes: report.nodes.iter().map(|n| n.finish).collect(),
+    }
+}
+
+#[test]
+fn simreport_sequences_match_across_1_2_and_8_workers() {
+    const POINTS: usize = 6;
+    let serial = SweepRunner::new(1).run(POINTS, run_point);
+    assert!(
+        serial.iter().all(|r| r.functional_check_passed),
+        "every point must deliver exactly-once"
+    );
+    // Auditing is active in debug builds and under --features audit; when
+    // it is, the digests must travel with the reports unchanged.
+    if cfg!(any(debug_assertions, feature = "audit")) {
+        assert!(serial.iter().all(|r| r.audit_digest.is_some()));
+    }
+    for workers in [2usize, 8] {
+        let parallel = SweepRunner::new(workers).run(POINTS, run_point);
+        assert_eq!(
+            parallel, serial,
+            "{workers}-worker sweep diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn rendered_tables_are_byte_identical_across_worker_counts() {
+    let serial = BenchOpts {
+        scale: 0.02,
+        seed: 7,
+        paper_profile: false,
+        workers: 1,
+    };
+    let reference = tables::fig12(&serial);
+    for workers in [2usize, 8] {
+        assert_eq!(
+            tables::fig12(&serial.with_workers(workers)),
+            reference,
+            "fig12 diverged at {workers} workers"
+        );
+    }
+}
