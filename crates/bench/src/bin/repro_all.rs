@@ -12,7 +12,7 @@ fn main() {
     if o.workers > 1 {
         eprintln!("[sweeping across {} worker threads]", o.workers);
     }
-    let t0 = Instant::now(); // simaudit:allow(no-wall-clock)
+    let t0 = Instant::now(); // simaudit:allow(no-wall-clock): reports real total reproduction time to the operator
     type Section<'a> = (&'a str, Box<dyn Fn() -> String>);
     let sections: Vec<Section> = vec![
         (
@@ -114,7 +114,7 @@ fn main() {
         sections
     };
     for (name, f) in sections {
-        let t = Instant::now(); // simaudit:allow(no-wall-clock)
+        let t = Instant::now(); // simaudit:allow(no-wall-clock): reports real per-section timing to the operator
         let body = f();
         println!("==================== {name} ====================");
         println!("{body}");

@@ -14,7 +14,7 @@
 //! exists so `cargo bench` keeps working offline, not to replace criterion's
 //! analysis.
 
-use std::time::{Duration, Instant}; // simaudit:allow(no-wall-clock)
+use std::time::{Duration, Instant}; // simaudit:allow(no-wall-clock): host-side bench harness measures real execution time
 
 /// Re-export-compatible opaque-value barrier.
 #[inline]
@@ -68,7 +68,7 @@ pub struct Bencher {
 impl Bencher {
     /// Times `f` over the calibrated number of iterations.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        let start = Instant::now(); // simaudit:allow(no-wall-clock)
+        let start = Instant::now(); // simaudit:allow(no-wall-clock): wall time is the quantity being benchmarked
         for _ in 0..self.iters {
             black_box(f());
         }
@@ -95,6 +95,7 @@ impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
+        // simaudit:allow(no-debug-print): console bench reporter prints group headers
         println!("\n== {name} ==");
         BenchmarkGroup {
             criterion: self,
@@ -188,6 +189,7 @@ impl BenchmarkGroup<'_> {
                 format!(" ({:.1} MiB/s)", n as f64 / ns_per_iter * 1e3 / 1.048_576)
             }
         });
+        // simaudit:allow(no-debug-print): console bench reporter prints per-benchmark rows
         println!(
             "  {label:<40} {ns_per_iter:>12.1} ns/iter{}",
             rate.unwrap_or_default()

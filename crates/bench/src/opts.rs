@@ -63,6 +63,7 @@ impl BenchOpts {
                 }
                 "--parallel" => opts.workers = available_workers(),
                 "--help" | "-h" => {
+                    // simaudit:allow(no-debug-print): arg parser reports usage directly to the operator
                     eprintln!(
                         "options: [--scale f64] [--seed u64] [--quick] [--paper] \
                          [--workers n] [--parallel]"

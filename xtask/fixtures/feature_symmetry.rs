@@ -1,0 +1,14 @@
+//! Fixture: `feature-symmetry` requires a `#[cfg(not(...))]` stub for a
+//! gated item referenced from unconditional code.
+
+#[cfg(feature = "trace")]
+fn record_flush(prs: u32) -> u32 {
+    prs + 1
+}
+
+#[cfg(not(feature = "trace"))]
+fn record_flush(_prs: u32) -> u32 { 0 }
+
+pub fn emit(prs: u32) -> u32 {
+    record_flush(prs)
+}

@@ -1,0 +1,20 @@
+//! Fixture: `no-debug-print` must flag console output in library code.
+
+pub fn report(x: u32) {
+    println!("x = {x}");
+    eprintln!("warn: {x}");
+    dbg!(x);
+}
+
+pub fn progress() {
+    // simaudit:allow(no-debug-print): CLI progress reporting is this helper's job
+    println!("tick");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_are_fine_in_tests() {
+        println!("test output is fine");
+    }
+}

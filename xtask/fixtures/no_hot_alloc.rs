@@ -1,0 +1,23 @@
+//! Fixture: `no-hot-alloc` must flag per-event allocations in event paths.
+
+pub fn handle(xs: &[u32]) -> u32 {
+    let v = xs.to_vec();
+    let w = v.clone();
+    let b = Box::new(xs.len() as u32);
+    let mut acc = Vec::new();
+    let s = String::new();
+    let doubled: Vec<u32> = xs.iter().map(|x| x * 2).collect();
+    acc.push(*b);
+    (v.len() + w.len() + s.len() + doubled.len() + acc.len()) as u32
+}
+
+pub fn with_capacity(n: usize) -> Vec<u32> {
+    let mut v = Vec::new();
+    v.reserve(n);
+    v
+}
+
+pub fn allowed(xs: &[u32]) -> Vec<u32> {
+    // simaudit:allow(no-hot-alloc): retained payload outlives the handler event
+    xs.to_vec()
+}

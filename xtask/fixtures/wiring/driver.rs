@@ -1,0 +1,19 @@
+//! Wiring fixture: a miniature dispatch loop.
+
+pub struct World;
+
+impl World {
+    pub fn dispatch(&mut self, ev: Event) {
+        match ev.port() {
+            Port::Node(n) => self.node(n, ev),
+            Port::Rack(r) => self.rack(r, ev),
+            Port::Fabric => self.fabric(ev),
+        }
+    }
+
+    fn node(&mut self, _n: u32, _ev: Event) {}
+    fn rack(&mut self, _r: u32, _ev: Event) {}
+    fn fabric(&mut self, ev: Event) {
+        if let Event::FabricTick = ev {}
+    }
+}

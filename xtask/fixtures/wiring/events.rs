@@ -1,0 +1,24 @@
+//! Wiring fixture: a miniature Event/Port routing table.
+
+pub enum Event {
+    HostIssue { node: u32 },
+    NicExpire { node: u32 },
+    PacketAtSwitch { switch: u32 },
+    FabricTick,
+}
+
+pub enum Port {
+    Node(u32),
+    Rack(u32),
+    Fabric,
+}
+
+impl Event {
+    pub fn port(&self) -> Port {
+        match *self {
+            Event::HostIssue { node } | Event::NicExpire { node } => Port::Node(node),
+            Event::PacketAtSwitch { switch } => Port::Rack(switch),
+            Event::FabricTick => Port::Fabric,
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Wiring fixture: a miniature component handler.
+
+pub fn handle(ev: &Event) {
+    match ev {
+        Event::HostIssue { .. } => {}
+        Event::NicExpire { .. } => {}
+        Event::PacketAtSwitch { .. } => {}
+        _ => {}
+    }
+}

@@ -1,0 +1,770 @@
+//! A hand-rolled Rust lexer for the simcheck passes.
+//!
+//! The offline build has no `syn`/`proc-macro2`, so simcheck carries its
+//! own tokenizer. It is not a full Rust lexer — it produces exactly what
+//! the lint passes need and nothing more:
+//!
+//! - a flat token stream (idents, single-byte puncts, string/char/number
+//!   literals, lifetimes) with **comments and literal contents removed
+//!   from rule visibility** — `// HashMap` or `r"rand"` can never trip a
+//!   rule again;
+//! - correct handling of the literal forms that defeat line-regex
+//!   scanners: raw strings (`r#"..."#`) containing `//`, char literals
+//!   like `'"'` and `'{'`, byte strings, and nested `/* /* */ */` block
+//!   comments;
+//! - a **cfg scope** per token: whether the token sits under
+//!   `#[cfg(test)]`, and which `feature = "..."` gates (with polarity,
+//!   through `not`/`any`/`all`) enclose it — attribute-to-item extents are
+//!   tracked through braces, `;` and `,` terminators;
+//! - the `simaudit:allow(<rule>)` markers found in comments, each with
+//!   its surrounding justification text (the hygiene pass polices both).
+
+/// Token kinds. Literal kinds carry no decoded value — the passes only
+/// need to know the span is a literal (and therefore inert).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident,
+    /// A single punctuation byte (multi-byte operators arrive as runs).
+    Punct(u8),
+    /// String literal of any form (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`, `'"'`).
+    Char,
+    /// Numeric literal (possibly with a suffix).
+    Num,
+    /// Lifetime (`'a`) — distinct from [`Tok::Char`].
+    Lifetime,
+}
+
+/// One token of the source, annotated with its line and cfg scope.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: Tok,
+    /// Byte range in the source.
+    pub start: usize,
+    /// Exclusive end of the byte range.
+    pub end: usize,
+    /// 1-based line the token starts on.
+    pub line: usize,
+    /// Index into [`LexedFile::scopes`].
+    pub scope: u32,
+    /// True when the token sits inside a `#[...]` attribute.
+    pub in_attr: bool,
+}
+
+/// One cfg scope: a node in the scope tree built from `#[cfg(...)]`
+/// attributes. The root scope (index 0) is unconditional.
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    /// Enclosing scope, or `None` for the root.
+    pub parent: Option<u32>,
+    /// This scope's own `cfg(test)` flag (not inherited).
+    pub test: bool,
+    /// Feature gates introduced here: `(name, polarity)`, where polarity
+    /// `false` means the gate sits under `not(...)`.
+    pub features: Vec<(String, bool)>,
+}
+
+/// A `simaudit:allow(<rule>)` marker found in a comment.
+#[derive(Debug, Clone)]
+pub struct AllowMarker {
+    /// 1-based line the marker occurs on.
+    pub line: usize,
+    /// The rule name between the parentheses.
+    pub rule: String,
+    /// The comment's text with the marker itself removed — the written
+    /// justification the hygiene pass requires.
+    pub justification: String,
+}
+
+/// A lexed source file: tokens, the cfg scope tree, and allow markers.
+#[derive(Debug)]
+pub struct LexedFile {
+    src: String,
+    /// The token stream (comments and whitespace removed).
+    pub tokens: Vec<Token>,
+    /// The cfg scope tree; index 0 is the unconditional root.
+    pub scopes: Vec<Scope>,
+    /// Allow markers harvested from comments, in source order.
+    pub markers: Vec<AllowMarker>,
+}
+
+impl LexedFile {
+    /// Tokenizes `src` and computes cfg scopes and allow markers.
+    pub fn lex(src: &str) -> LexedFile {
+        let mut lf = LexedFile {
+            src: src.to_string(),
+            tokens: Vec::new(),
+            scopes: vec![Scope::default()],
+            markers: Vec::new(),
+        };
+        lf.tokenize();
+        lf.assign_scopes();
+        lf
+    }
+
+    /// The token's text.
+    pub fn text(&self, i: usize) -> &str {
+        let t = &self.tokens[i];
+        &self.src[t.start..t.end]
+    }
+
+    /// `Some(text)` when token `i` exists and is an identifier.
+    pub fn ident(&self, i: usize) -> Option<&str> {
+        match self.tokens.get(i) {
+            Some(t) if t.kind == Tok::Ident => Some(&self.src[t.start..t.end]),
+            _ => None,
+        }
+    }
+
+    /// True when token `i` exists and is the identifier `s`.
+    pub fn is_ident(&self, i: usize, s: &str) -> bool {
+        self.ident(i) == Some(s)
+    }
+
+    /// True when token `i` exists and is the punctuation byte `c`.
+    pub fn is_punct(&self, i: usize, c: u8) -> bool {
+        matches!(self.tokens.get(i), Some(t) if t.kind == Tok::Punct(c))
+    }
+
+    /// True when any scope enclosing token `i` is `cfg(test)`.
+    pub fn in_test(&self, i: usize) -> bool {
+        let mut s = Some(self.tokens[i].scope);
+        while let Some(id) = s {
+            let sc = &self.scopes[id as usize];
+            if sc.test {
+                return true;
+            }
+            s = sc.parent;
+        }
+        false
+    }
+
+    /// The polarity of the innermost `feature = "feat"` gate enclosing
+    /// token `i`, or `None` when the token is not gated on `feat`.
+    pub fn gated_on(&self, i: usize, feat: &str) -> Option<bool> {
+        let mut s = Some(self.tokens[i].scope);
+        while let Some(id) = s {
+            let sc = &self.scopes[id as usize];
+            for (name, pol) in &sc.features {
+                if name == feat {
+                    return Some(*pol);
+                }
+            }
+            s = sc.parent;
+        }
+        None
+    }
+
+    /// Every feature gate enclosing token `i`, innermost first.
+    pub fn gates(&self, i: usize) -> Vec<(&str, bool)> {
+        let mut out = Vec::new();
+        let mut s = Some(self.tokens[i].scope);
+        while let Some(id) = s {
+            let sc = &self.scopes[id as usize];
+            for (name, pol) in &sc.features {
+                out.push((name.as_str(), *pol));
+            }
+            s = sc.parent;
+        }
+        out
+    }
+
+    /// Index of the token closing the group opened at `open` (`(`→`)`,
+    /// `[`→`]`, `{`→`}`), or `tokens.len()` when unbalanced.
+    pub fn matching_close(&self, open: usize) -> usize {
+        let (o, c) = match self.tokens[open].kind {
+            Tok::Punct(b'(') => (b'(', b')'),
+            Tok::Punct(b'[') => (b'[', b']'),
+            Tok::Punct(b'{') => (b'{', b'}'),
+            _ => return self.tokens.len(),
+        };
+        let mut depth = 0i64;
+        for i in open..self.tokens.len() {
+            match self.tokens[i].kind {
+                Tok::Punct(x) if x == o => depth += 1,
+                Tok::Punct(x) if x == c => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.tokens.len()
+    }
+
+    // ---------------------------------------------------------------
+    // Tokenizer
+    // ---------------------------------------------------------------
+
+    fn tokenize(&mut self) {
+        let src = std::mem::take(&mut self.src);
+        let b = src.as_bytes();
+        let mut i = 0usize;
+        let mut line = 1usize;
+        let push = |kind: Tok, start: usize, end: usize, line: usize, toks: &mut Vec<Token>| {
+            toks.push(Token {
+                kind,
+                start,
+                end,
+                line,
+                scope: 0,
+                in_attr: false,
+            });
+        };
+        let mut toks = Vec::new();
+        while i < b.len() {
+            let c = b[i];
+            match c {
+                b'\n' => {
+                    line += 1;
+                    i += 1;
+                }
+                c if c.is_ascii_whitespace() => i += 1,
+                b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                    let start = i;
+                    while i < b.len() && b[i] != b'\n' {
+                        i += 1;
+                    }
+                    self.harvest_markers(&src[start..i], line);
+                }
+                b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                    let start = i;
+                    let start_line = line;
+                    let mut depth = 1;
+                    i += 2;
+                    while i < b.len() && depth > 0 {
+                        if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                            depth += 1;
+                            i += 2;
+                        } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                            depth -= 1;
+                            i += 2;
+                        } else {
+                            if b[i] == b'\n' {
+                                line += 1;
+                            }
+                            i += 1;
+                        }
+                    }
+                    self.harvest_markers(&src[start..i], start_line);
+                }
+                b'"' => {
+                    let start = i;
+                    let start_line = line;
+                    i += 1;
+                    while i < b.len() {
+                        match b[i] {
+                            b'\\' => i += 2,
+                            b'"' => {
+                                i += 1;
+                                break;
+                            }
+                            b'\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    push(Tok::Str, start, i.min(b.len()), start_line, &mut toks);
+                }
+                b'\'' => {
+                    // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`,
+                    // `'"'`). A lifetime is `'` + ident run *not* closed
+                    // by another `'`.
+                    let start = i;
+                    let mut j = i + 1;
+                    if j < b.len() && (b[j].is_ascii_alphabetic() || b[j] == b'_') {
+                        let mut k = j + 1;
+                        while k < b.len() && (b[k].is_ascii_alphanumeric() || b[k] == b'_') {
+                            k += 1;
+                        }
+                        if k < b.len() && b[k] == b'\'' {
+                            // `'s'`-style char literal.
+                            push(Tok::Char, start, k + 1, line, &mut toks);
+                            i = k + 1;
+                        } else {
+                            push(Tok::Lifetime, start, k, line, &mut toks);
+                            i = k;
+                        }
+                        continue;
+                    }
+                    // Escaped or punctuation char literal: scan to the
+                    // closing quote, honouring backslash escapes.
+                    if j < b.len() && b[j] == b'\\' {
+                        j += 2;
+                        // `\u{1F600}`-style escapes run until `}`.
+                        if j - 1 < b.len() && b[j - 1] == b'u' && j < b.len() && b[j] == b'{' {
+                            while j < b.len() && b[j] != b'}' {
+                                j += 1;
+                            }
+                            j += 1;
+                        }
+                    } else {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == b'\'' {
+                        j += 1;
+                    }
+                    push(Tok::Char, start, j.min(b.len()), line, &mut toks);
+                    i = j;
+                }
+                c if c.is_ascii_digit() => {
+                    let start = i;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    push(Tok::Num, start, i, line, &mut toks);
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    let start = i;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    let word = &src[start..i];
+                    // Raw/byte string prefixes: `r"`, `r#"`, `b"`, `br#"`.
+                    let is_raw =
+                        matches!(word, "r" | "br") && i < b.len() && (b[i] == b'"' || b[i] == b'#');
+                    let is_bstr = word == "b" && i < b.len() && (b[i] == b'"' || b[i] == b'\'');
+                    if is_raw {
+                        let mut hashes = 0usize;
+                        let mut j = i;
+                        while j < b.len() && b[j] == b'#' {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if j < b.len() && b[j] == b'"' {
+                            j += 1;
+                            let closer: Vec<u8> = std::iter::once(b'"')
+                                .chain(std::iter::repeat_n(b'#', hashes))
+                                .collect();
+                            while j < b.len() && !b[j..].starts_with(&closer) {
+                                if b[j] == b'\n' {
+                                    line += 1;
+                                }
+                                j += 1;
+                            }
+                            j = (j + closer.len()).min(b.len());
+                            push(Tok::Str, start, j, line, &mut toks);
+                            i = j;
+                            continue;
+                        }
+                        // `r#ident` raw identifier: fall through as ident.
+                    }
+                    if is_bstr {
+                        // Re-lex from the quote as a plain string/char; the
+                        // `b` prefix is folded into the literal span.
+                        if b[i] == b'"' {
+                            let mut j = i + 1;
+                            while j < b.len() {
+                                match b[j] {
+                                    b'\\' => j += 2,
+                                    b'"' => {
+                                        j += 1;
+                                        break;
+                                    }
+                                    b'\n' => {
+                                        line += 1;
+                                        j += 1;
+                                    }
+                                    _ => j += 1,
+                                }
+                            }
+                            push(Tok::Str, start, j.min(b.len()), line, &mut toks);
+                            i = j;
+                        } else {
+                            let mut j = i + 1;
+                            if j < b.len() && b[j] == b'\\' {
+                                j += 2;
+                            } else {
+                                j += 1;
+                            }
+                            if j < b.len() && b[j] == b'\'' {
+                                j += 1;
+                            }
+                            push(Tok::Char, start, j.min(b.len()), line, &mut toks);
+                            i = j;
+                        }
+                        continue;
+                    }
+                    push(Tok::Ident, start, i, line, &mut toks);
+                }
+                c => {
+                    push(Tok::Punct(c), i, i + 1, line, &mut toks);
+                    i += 1;
+                }
+            }
+        }
+        self.tokens = toks;
+        self.src = src;
+    }
+
+    fn harvest_markers(&mut self, comment: &str, start_line: usize) {
+        const NEEDLE: &str = "simaudit:allow(";
+        let mut from = 0usize;
+        let mut stripped = comment.to_string();
+        let mut found = Vec::new();
+        while let Some(at) = comment[from..].find(NEEDLE) {
+            let at = from + at;
+            let rest = &comment[at + NEEDLE.len()..];
+            let Some(close) = rest.find(')') else {
+                break;
+            };
+            let rule = rest[..close].trim().to_string();
+            let line = start_line + comment[..at].matches('\n').count();
+            let whole = &comment[at..at + NEEDLE.len() + close + 1];
+            stripped = stripped.replace(whole, "");
+            found.push((line, rule));
+            from = at + NEEDLE.len() + close + 1;
+        }
+        // The justification is whatever prose surrounds the marker(s),
+        // comment syntax and separators removed.
+        let justification = stripped
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_start_matches('!')
+            .replace("//", " ")
+            .replace(['*', ':'], " ")
+            .trim()
+            .to_string();
+        for (line, rule) in found {
+            self.markers.push(AllowMarker {
+                line,
+                rule,
+                justification: justification.clone(),
+            });
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Cfg scope assignment
+    // ---------------------------------------------------------------
+
+    fn assign_scopes(&mut self) {
+        #[derive(PartialEq)]
+        enum Close {
+            /// Region ends at the matching `}` of a body opened at `depth`.
+            Brace,
+            /// Region awaits its item: ends at `;`/`,` at `depth`, or
+            /// converts to `Brace` when a body `{` opens at `depth`.
+            Pending,
+        }
+        struct Region {
+            prev: u32,
+            close: Close,
+            depth: u32,
+        }
+
+        let mut cur: u32 = 0;
+        let mut depth: u32 = 0;
+        let mut regions: Vec<Region> = Vec::new();
+        let mut i = 0usize;
+        while i < self.tokens.len() {
+            // Attribute: `#[...]` (outer) or `#![...]` (inner).
+            if self.is_punct(i, b'#') {
+                let (inner, lb) = if self.is_punct(i + 1, b'[') {
+                    (false, i + 1)
+                } else if self.is_punct(i + 1, b'!') && self.is_punct(i + 2, b'[') {
+                    (true, i + 2)
+                } else {
+                    self.tokens[i].scope = cur;
+                    self.tokens[i].in_attr = false;
+                    i += 1;
+                    continue;
+                };
+                let rb = self.matching_close(lb);
+                for t in i..=rb.min(self.tokens.len() - 1) {
+                    self.tokens[t].scope = cur;
+                    self.tokens[t].in_attr = true;
+                }
+                if !inner {
+                    if let Some(scope) = self.parse_cfg(lb + 1, rb, cur) {
+                        let id = self.scopes.len() as u32;
+                        self.scopes.push(scope);
+                        regions.push(Region {
+                            prev: cur,
+                            close: Close::Pending,
+                            depth,
+                        });
+                        cur = id;
+                    }
+                }
+                i = rb + 1;
+                continue;
+            }
+            self.tokens[i].scope = cur;
+            match self.tokens[i].kind {
+                Tok::Punct(b'{') => {
+                    // A body opening at a Pending region's depth binds it
+                    // (and any stacked sibling attributes) to this block.
+                    for r in regions.iter_mut().rev() {
+                        if r.close == Close::Pending && r.depth == depth {
+                            r.close = Close::Brace;
+                        } else {
+                            break;
+                        }
+                    }
+                    depth += 1;
+                }
+                Tok::Punct(b'(') | Tok::Punct(b'[') => depth += 1,
+                Tok::Punct(b'}') => {
+                    depth = depth.saturating_sub(1);
+                    while let Some(r) = regions.last() {
+                        if r.close == Close::Brace && r.depth == depth {
+                            cur = r.prev;
+                            regions.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                Tok::Punct(b')') | Tok::Punct(b']') => depth = depth.saturating_sub(1),
+                Tok::Punct(b';') | Tok::Punct(b',') => {
+                    while let Some(r) = regions.last() {
+                        if r.close == Close::Pending && r.depth == depth {
+                            cur = r.prev;
+                            regions.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    /// Parses the tokens of one attribute body (`lb+1 .. rb`) and returns
+    /// a scope when the attribute is a `cfg(...)`.
+    fn parse_cfg(&self, start: usize, end: usize, parent: u32) -> Option<Scope> {
+        if !self.is_ident(start, "cfg") || !self.is_punct(start + 1, b'(') {
+            return None;
+        }
+        let mut scope = Scope {
+            parent: Some(parent),
+            test: false,
+            features: Vec::new(),
+        };
+        self.parse_cond(start + 2, end, true, &mut scope);
+        Some(scope)
+    }
+
+    /// Recursively records `test` and `feature = "..."` mentions with
+    /// their polarity through `not`/`any`/`all` combinators.
+    fn parse_cond(&self, start: usize, end: usize, polarity: bool, scope: &mut Scope) {
+        let mut i = start;
+        while i < end {
+            if self.is_ident(i, "not") && self.is_punct(i + 1, b'(') {
+                let close = self.matching_close(i + 1);
+                self.parse_cond(i + 2, close, !polarity, scope);
+                i = close + 1;
+            } else if (self.is_ident(i, "any") || self.is_ident(i, "all"))
+                && self.is_punct(i + 1, b'(')
+            {
+                let close = self.matching_close(i + 1);
+                self.parse_cond(i + 2, close, polarity, scope);
+                i = close + 1;
+            } else if self.is_ident(i, "feature")
+                && self.is_punct(i + 1, b'=')
+                && matches!(self.tokens.get(i + 2), Some(t) if t.kind == Tok::Str)
+            {
+                let raw = self.text(i + 2);
+                let name = raw.trim_matches('"').to_string();
+                scope.features.push((name, polarity));
+                i += 3;
+            } else if self.is_ident(i, "test") {
+                if polarity {
+                    scope.test = true;
+                }
+                i += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(lf: &LexedFile) -> Vec<&str> {
+        (0..lf.tokens.len()).filter_map(|i| lf.ident(i)).collect()
+    }
+
+    #[test]
+    fn raw_strings_containing_comment_markers_are_inert() {
+        let lf = LexedFile::lex(r###"let s = r#"// HashMap "quoted" rand"#; let x = 1;"###);
+        assert!(
+            !idents(&lf).contains(&"HashMap"),
+            "raw string content leaked into the token stream"
+        );
+        assert!(
+            idents(&lf).contains(&"x"),
+            "code after the raw string lexes"
+        );
+        assert_eq!(lf.tokens.iter().filter(|t| t.kind == Tok::Str).count(), 1);
+    }
+
+    #[test]
+    fn char_literal_double_quote_does_not_open_a_string() {
+        let lf = LexedFile::lex("let q = '\"'; let m = HashMap::new();");
+        assert!(
+            idents(&lf).contains(&"HashMap"),
+            "code after the '\"' char literal must stay visible"
+        );
+        assert_eq!(lf.tokens.iter().filter(|t| t.kind == Tok::Char).count(), 1);
+    }
+
+    #[test]
+    fn char_literal_brace_does_not_skew_scopes() {
+        let src = "fn f() { let open = '{'; let close = '}'; }\nfn g() { Instant::now(); }";
+        let lf = LexedFile::lex(src);
+        let inst = (0..lf.tokens.len())
+            .find(|&i| lf.is_ident(i, "Instant"))
+            .expect("Instant token present");
+        assert_eq!(lf.tokens[inst].line, 2);
+        assert!(!lf.in_test(inst));
+    }
+
+    #[test]
+    fn nested_block_comments_skip_cleanly() {
+        let lf = LexedFile::lex("/* outer /* inner rand */ still comment */ let a = 2;");
+        assert_eq!(idents(&lf), vec!["let", "a"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lf = LexedFile::lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(
+            lf.tokens.iter().filter(|t| t.kind == Tok::Lifetime).count(),
+            3
+        );
+        assert_eq!(lf.tokens.iter().filter(|t| t.kind == Tok::Char).count(), 0);
+    }
+
+    #[test]
+    fn cfg_test_scope_covers_module_body() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { HashMap::new(); }\n}\nfn hot() { HashMap::new(); }";
+        let lf = LexedFile::lex(src);
+        let maps: Vec<usize> = (0..lf.tokens.len())
+            .filter(|&i| lf.is_ident(i, "HashMap"))
+            .collect();
+        assert_eq!(maps.len(), 2);
+        assert!(lf.in_test(maps[0]), "first HashMap is inside cfg(test)");
+        assert!(!lf.in_test(maps[1]), "second HashMap is unconditional");
+    }
+
+    #[test]
+    fn cfg_feature_scope_tracks_statements_and_items() {
+        let src = r#"
+#[cfg(feature = "trace")]
+pub fn set_tracer() { attach(); }
+
+#[cfg(not(feature = "trace"))]
+pub fn set_tracer() {}
+
+pub fn emit() {
+    #[cfg(feature = "trace")]
+    record_flush();
+    done();
+}
+"#;
+        let lf = LexedFile::lex(src);
+        let at = |name: &str, nth: usize| {
+            (0..lf.tokens.len())
+                .filter(|&i| lf.is_ident(i, name))
+                .nth(nth)
+                .unwrap()
+        };
+        assert_eq!(lf.gated_on(at("attach", 0), "trace"), Some(true));
+        let stub_body = at("set_tracer", 1);
+        assert_eq!(lf.gated_on(stub_body, "trace"), Some(false));
+        assert_eq!(lf.gated_on(at("record_flush", 0), "trace"), Some(true));
+        assert_eq!(
+            lf.gated_on(at("done", 0), "trace"),
+            None,
+            "statement-level cfg must end at the `;`"
+        );
+    }
+
+    #[test]
+    fn cfg_any_debug_assertions_audit_reads_as_audit_gate() {
+        let src = "#[cfg(any(debug_assertions, feature = \"audit\"))]\nfn check() { ledger(); }\nfn run() { free(); }";
+        let lf = LexedFile::lex(src);
+        let ledger = (0..lf.tokens.len())
+            .find(|&i| lf.is_ident(i, "ledger"))
+            .unwrap();
+        let free = (0..lf.tokens.len())
+            .find(|&i| lf.is_ident(i, "free"))
+            .unwrap();
+        assert_eq!(lf.gated_on(ledger, "audit"), Some(true));
+        assert_eq!(lf.gated_on(free, "audit"), None);
+    }
+
+    #[test]
+    fn stacked_cfg_attributes_bind_to_one_item() {
+        let src = "#[cfg(feature = \"a\")]\n#[cfg(feature = \"b\")]\nfn f() { inner(); }\nfn g() { outer(); }";
+        let lf = LexedFile::lex(src);
+        let inner = (0..lf.tokens.len())
+            .find(|&i| lf.is_ident(i, "inner"))
+            .unwrap();
+        let outer = (0..lf.tokens.len())
+            .find(|&i| lf.is_ident(i, "outer"))
+            .unwrap();
+        assert_eq!(lf.gated_on(inner, "a"), Some(true));
+        assert_eq!(lf.gated_on(inner, "b"), Some(true));
+        assert_eq!(lf.gated_on(outer, "a"), None);
+        assert_eq!(lf.gated_on(outer, "b"), None);
+    }
+
+    #[test]
+    fn cfg_gated_struct_field_scope_ends_at_comma() {
+        let src = "struct S {\n    a: u32,\n    #[cfg(feature = \"trace\")]\n    tracer: Option<u8>,\n    b: u32,\n}";
+        let lf = LexedFile::lex(src);
+        let tracer = (0..lf.tokens.len())
+            .find(|&i| lf.is_ident(i, "tracer"))
+            .unwrap();
+        let b = (0..lf.tokens.len())
+            .rfind(|&i| lf.is_ident(i, "b"))
+            .unwrap();
+        assert_eq!(lf.gated_on(tracer, "trace"), Some(true));
+        assert_eq!(lf.gated_on(b, "trace"), None);
+    }
+
+    #[test]
+    fn markers_carry_rule_and_justification() {
+        let lf =
+            LexedFile::lex("let t = now(); // simaudit:allow(no-wall-clock): CLI progress timing");
+        assert_eq!(lf.markers.len(), 1);
+        assert_eq!(lf.markers[0].rule, "no-wall-clock");
+        assert_eq!(lf.markers[0].line, 1);
+        assert!(lf.markers[0].justification.contains("CLI progress timing"));
+    }
+
+    #[test]
+    fn bare_marker_has_empty_justification() {
+        let lf = LexedFile::lex("let t = now(); // simaudit:allow(no-wall-clock)");
+        assert_eq!(lf.markers.len(), 1);
+        assert!(lf.markers[0].justification.is_empty());
+    }
+
+    #[test]
+    fn attribute_tokens_are_flagged() {
+        let lf = LexedFile::lex("#[derive(Clone)]\nstruct S;\nfn f() { s.clone(); }");
+        let derive_clone = (0..lf.tokens.len())
+            .find(|&i| lf.is_ident(i, "Clone"))
+            .unwrap();
+        let call_clone = (0..lf.tokens.len())
+            .find(|&i| lf.is_ident(i, "clone"))
+            .unwrap();
+        assert!(lf.tokens[derive_clone].in_attr);
+        assert!(!lf.tokens[call_clone].in_attr);
+    }
+}

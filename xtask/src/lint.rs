@@ -1,65 +1,73 @@
-//! The `simaudit` determinism lints: five repo-specific rules enforced over
-//! `crates/**/*.rs` (see `docs/STATIC_ANALYSIS.md` for the catalogue).
+//! simcheck — the workspace's static-analysis engine (`cargo xtask lint`).
 //!
-//! The linter is deliberately textual — the offline build environment has
-//! no `syn`/`quote`, and the rules below are all expressible as line-level
-//! pattern checks with a small amount of context (comment stripping,
-//! `#[cfg(test)]` item tracking). False positives are expected to be rare
-//! and are silenced explicitly with `// simaudit:allow(<rule>)` on the
-//! offending line or the line above, which doubles as in-tree documentation
-//! of why the site is sound.
+//! Successor to the line-regex `simaudit` linter: a hand-rolled lexer
+//! ([`lexer`](crate::lexer)) feeds token-level rules
+//! ([`rules`](crate::rules)) plus two cross-file passes — Event/Port
+//! wiring exhaustiveness ([`wiring`](crate::wiring)) and `audit`/`trace`
+//! feature-gate symmetry ([`features`](crate::features)) — with
+//! `simaudit:allow(<rule>)` marker hygiene enforced on top (a marker that
+//! suppresses nothing, or carries no written justification, is itself an
+//! error). See `docs/STATIC_ANALYSIS.md` for the rule catalogue and the
+//! `--format json` schema.
 
-use std::fmt;
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Every rule the linter knows, in reporting order.
-pub const RULES: &[&str] = &[
-    "no-wall-clock",
-    "no-unordered-iteration",
-    "no-raw-time-math",
-    "no-foreign-rng",
-    "no-unwrap-in-hot-path",
-];
+use crate::features;
+use crate::lexer::LexedFile;
+use crate::report::{self, Diagnostic, RULES, SUPPRESSIBLE};
+use crate::rules;
+use crate::wiring;
 
-/// A single lint finding.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Diagnostic {
-    /// Workspace-relative path, forward slashes.
-    pub file: String,
-    /// 1-based line number.
-    pub line: usize,
-    /// Rule identifier (one of [`RULES`]).
-    pub rule: &'static str,
-    /// Human-readable explanation with the fix direction.
-    pub message: String,
-}
-
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: {}: {}",
-            self.file, self.line, self.rule, self.message
-        )
-    }
+/// Output format selected with `--format`.
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Text,
+    Json,
 }
 
 /// Entry point for `cargo xtask lint`.
 pub fn run(args: &[String]) -> ExitCode {
-    if let Some(bad) = args.iter().find(|a| a.as_str() != "--quiet") {
-        eprintln!("error: unknown lint option `{bad}`");
-        return ExitCode::FAILURE;
+    let mut quiet = false;
+    let mut format = Format::Text;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quiet" => quiet = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                other => {
+                    eprintln!(
+                        "error: --format expects `json` or `text`, got {}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            a if a.starts_with("--format=") => match &a["--format=".len()..] {
+                "json" => format = Format::Json,
+                "text" => format = Format::Text,
+                other => {
+                    eprintln!("error: --format expects `json` or `text`, got `{other}`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            bad => {
+                eprintln!("error: unknown lint option `{bad}`");
+                return ExitCode::FAILURE;
+            }
+        }
     }
-    let quiet = args.iter().any(|a| a == "--quiet");
+
     let root = workspace_root();
     let mut files = Vec::new();
     collect_rs_files(&root.join("crates"), &mut files);
     files.sort();
 
-    let mut diags = Vec::new();
-    let mut scanned = 0usize;
+    let mut lexed: BTreeMap<String, LexedFile> = BTreeMap::new();
     for path in &files {
         let rel = path
             .strip_prefix(&root)
@@ -68,8 +76,7 @@ pub fn run(args: &[String]) -> ExitCode {
             .replace('\\', "/");
         match fs::read_to_string(path) {
             Ok(content) => {
-                scanned += 1;
-                diags.extend(scan_file(&rel, &content));
+                lexed.insert(rel, LexedFile::lex(&content));
             }
             Err(e) => {
                 eprintln!("error: cannot read {rel}: {e}");
@@ -77,19 +84,141 @@ pub fn run(args: &[String]) -> ExitCode {
             }
         }
     }
+    let scanned = lexed.len();
 
-    for d in &diags {
-        println!("{d}");
+    // Per-file token rules, symmetry, and marker hygiene.
+    let mut diags = Vec::new();
+    for (rel, lf) in &lexed {
+        diags.extend(check_lexed(rel, lf));
+    }
+
+    // Cross-file: Event/Port wiring.
+    match (
+        lexed.get(wiring::EVENTS_FILE),
+        lexed.get(wiring::DRIVER_FILE),
+    ) {
+        (Some(events), Some(driver)) => {
+            let handlers: Vec<(&str, &LexedFile)> = wiring::HANDLER_FILES
+                .iter()
+                .filter_map(|h| lexed.get(*h).map(|lf| (*h, lf)))
+                .collect();
+            diags.extend(wiring::check(events, driver, &handlers));
+        }
+        _ => diags.push(Diagnostic {
+            file: wiring::EVENTS_FILE.to_string(),
+            line: 1,
+            rule: "port-wiring",
+            message: "events.rs / driver.rs not found — the wiring pass \
+                      tracks the component routing table in these files"
+                .to_string(),
+        }),
+    }
+
+    // Cross-file: the workspace feature graph.
+    diags.extend(features::check_feature_graph(&root));
+
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+
+    match format {
+        Format::Json => print!("{}", report::to_json(&diags, scanned)),
+        Format::Text => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                if !quiet {
+                    println!(
+                        "simcheck: {scanned} files clean ({} rules, wiring + \
+                         feature graph verified)",
+                        RULES.len()
+                    );
+                }
+            } else {
+                println!("simcheck: {} violation(s) in {scanned} files", diags.len());
+            }
+        }
     }
     if diags.is_empty() {
-        if !quiet {
-            println!("simaudit: {scanned} files clean ({} rules)", RULES.len());
-        }
         ExitCode::SUCCESS
     } else {
-        println!("simaudit: {} violation(s) in {scanned} files", diags.len());
         ExitCode::FAILURE
     }
+}
+
+/// Lexes and checks a single source file: token rules + cfg symmetry,
+/// then allow-marker suppression and hygiene. The fixture tests drive
+/// the engine through this entry point.
+#[cfg(test)]
+pub fn check_source(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let lf = LexedFile::lex(src);
+    check_lexed(rel, &lf)
+}
+
+fn check_lexed(rel: &str, lf: &LexedFile) -> Vec<Diagnostic> {
+    let mut raw = rules::scan(rel, lf);
+    raw.extend(features::check_cfg_symmetry(rel, lf));
+    apply_markers(rel, lf, raw)
+}
+
+/// Minimum alphanumeric characters of prose for a marker justification.
+const MIN_JUSTIFICATION: usize = 10;
+
+/// Applies `simaudit:allow` markers to `raw` findings and appends the
+/// hygiene findings: unknown rule, unsuppressible rule, stale marker
+/// (suppresses nothing), missing justification.
+fn apply_markers(rel: &str, lf: &LexedFile, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut used = vec![false; lf.markers.len()];
+    let mut out = Vec::new();
+    for d in raw {
+        let marker = lf
+            .markers
+            .iter()
+            .position(|m| m.rule == d.rule && (m.line == d.line || m.line + 1 == d.line));
+        match marker {
+            Some(i) if SUPPRESSIBLE.contains(&d.rule) => used[i] = true,
+            _ => out.push(d),
+        }
+    }
+    for (i, m) in lf.markers.iter().enumerate() {
+        let hygiene = |message: String| Diagnostic {
+            file: rel.to_string(),
+            line: m.line,
+            rule: "allow-hygiene",
+            message,
+        };
+        if !RULES.contains(&m.rule.as_str()) {
+            out.push(hygiene(format!(
+                "allow marker names unknown rule `{}`; see docs/STATIC_ANALYSIS.md \
+                 for the catalogue",
+                m.rule
+            )));
+        } else if !SUPPRESSIBLE.contains(&m.rule.as_str()) {
+            out.push(hygiene(format!(
+                "rule `{}` is a structural contract and cannot be suppressed \
+                 with an allow marker",
+                m.rule
+            )));
+        } else if !used[i] {
+            out.push(hygiene(format!(
+                "stale allow marker: no `{}` finding fires on this or the next \
+                 line — remove the marker",
+                m.rule
+            )));
+        } else if m
+            .justification
+            .chars()
+            .filter(|c| c.is_alphanumeric())
+            .count()
+            < MIN_JUSTIFICATION
+        {
+            out.push(hygiene(format!(
+                "allow marker for `{}` carries no written justification; say \
+                 why the site is sound (e.g. `// simaudit:allow({}): <reason>`)",
+                m.rule, m.rule
+            )));
+        }
+    }
+    out
 }
 
 fn workspace_root() -> PathBuf {
@@ -115,255 +244,21 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Scans one file's content and returns every violation.
-///
-/// `rel` is the workspace-relative path with forward slashes; it selects
-/// which rules apply (several rules only police event-path crates).
-pub fn scan_file(rel: &str, content: &str) -> Vec<Diagnostic> {
-    let lines: Vec<&str> = content.lines().collect();
-    let in_test = test_item_lines(&lines);
-    let mut diags = Vec::new();
-
-    let wall_clock = rel.starts_with("crates/");
-    let unordered = in_event_path(rel);
-    let raw_time = rel.starts_with("crates/") && rel != "crates/desim/src/time.rs";
-    let foreign_rng = rel.starts_with("crates/") && rel != "crates/desim/src/rng.rs";
-    let unwrap_hot = in_event_path(rel) || rel == "crates/desim/src/engine.rs";
-
-    for (i, raw) in lines.iter().enumerate() {
-        let line_no = i + 1;
-        let code = strip_line_comment(raw);
-        let allowed = |rule: &str| has_allow(raw, rule) || (i > 0 && has_allow(lines[i - 1], rule));
-        let mut emit = |rule: &'static str, message: String| {
-            if !allowed(rule) {
-                diags.push(Diagnostic {
-                    file: rel.to_string(),
-                    line: line_no,
-                    rule,
-                    message,
-                });
-            }
-        };
-
-        if wall_clock && (contains_word(code, "Instant") || contains_word(code, "SystemTime")) {
-            emit(
-                "no-wall-clock",
-                "host wall-clock time in simulation code; use the event \
-                 clock (`netsparse_desim::SimTime`) instead"
-                    .to_string(),
-            );
-        }
-
-        if unordered
-            && !in_test[i]
-            && (contains_word(code, "HashMap") || contains_word(code, "HashSet"))
-        {
-            emit(
-                "no-unordered-iteration",
-                "unordered hash container in an event path; iteration order \
-                 is nondeterministic — use BTreeMap/BTreeSet or sort before \
-                 iterating"
-                    .to_string(),
-            );
-        }
-
-        if raw_time {
-            let from_ps_cast =
-                code.contains("from_ps(") && (code.contains("as u64") || code.contains(".round("));
-            if code.contains("from_secs_f64(") || from_ps_cast {
-                emit(
-                    "no-raw-time-math",
-                    "ad-hoc float→time conversion outside desim::time; use \
-                     `SimTime::from_ps_f64`/`SimTime::serialization` so \
-                     rounding stays uniform"
-                        .to_string(),
-                );
-            }
-        }
-
-        if foreign_rng {
-            const FOREIGN: &[&str] = &[
-                "rand",
-                "thread_rng",
-                "ThreadRng",
-                "StdRng",
-                "SeedableRng",
-                "gen_range",
-                "gen_bool",
-            ];
-            if FOREIGN.iter().any(|w| contains_word(code, w)) {
-                emit(
-                    "no-foreign-rng",
-                    "randomness outside `netsparse_desim::rng`; draw from a \
-                     seeded `SplitMix64` so runs stay bit-reproducible"
-                        .to_string(),
-                );
-            }
-        }
-
-        if unwrap_hot && !in_test[i] && (code.contains(".unwrap()") || code.contains(".expect(")) {
-            emit(
-                "no-unwrap-in-hot-path",
-                "unwrap/expect in a simulation hot path; propagate the error \
-                 or handle the None case (panics abort multi-hour runs)"
-                    .to_string(),
-            );
-        }
-    }
-    diags
-}
-
-/// The event-path crates policed by ordering- and panic-sensitive rules.
-fn in_event_path(rel: &str) -> bool {
-    rel == "crates/core/src/sim.rs"
-        || rel.starts_with("crates/snic/src/")
-        || rel.starts_with("crates/switch/src/")
-        || rel.starts_with("crates/netsim/src/")
-}
-
-fn has_allow(line: &str, rule: &str) -> bool {
-    line.contains(&format!("simaudit:allow({rule})"))
-}
-
-/// Returns the code portion of a line: everything before a `//` comment
-/// that is not inside a string literal.
-fn strip_line_comment(line: &str) -> &str {
-    let bytes = line.as_bytes();
-    let mut in_str = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if in_str => i += 1, // skip escaped char
-            b'"' => in_str = !in_str,
-            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                return &line[..i];
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    line
-}
-
-/// Marks lines belonging to `#[cfg(test)]` items (mods or fns) so the
-/// unwrap rule skips test code. Brace counting ignores braces inside
-/// string and char literals.
-fn test_item_lines(lines: &[&str]) -> Vec<bool> {
-    let mut flags = vec![false; lines.len()];
-    let mut pending = false; // saw #[cfg(test)], waiting for the item body
-    let mut depth: i64 = 0;
-    let mut in_item = false;
-    for (i, raw) in lines.iter().enumerate() {
-        let code = strip_line_comment(raw);
-        if in_item {
-            flags[i] = true;
-            depth += brace_delta(code);
-            if depth <= 0 {
-                in_item = false;
-            }
-            continue;
-        }
-        if code.contains("#[cfg(test)]") {
-            pending = true;
-            flags[i] = true;
-            // Attribute and item on one line: `#[cfg(test)] mod t { ... }`.
-            let d = brace_delta(code);
-            if d > 0 {
-                in_item = true;
-                depth = d;
-                pending = false;
-            }
-            continue;
-        }
-        if pending {
-            flags[i] = true;
-            let trimmed = code.trim();
-            if trimmed.is_empty() || trimmed.starts_with("#[") {
-                continue; // further attributes / blank lines
-            }
-            let d = brace_delta(code);
-            if d > 0 {
-                in_item = true;
-                depth = d;
-            }
-            // One-line item (`fn f() {}`) or declaration without a body
-            // (`mod tests;`): nothing more to skip either way.
-            pending = false;
-        }
-    }
-    flags
-}
-
-/// Net `{`/`}` balance of a code line, ignoring braces inside string and
-/// char literals (`format!("{x}")` must not count).
-fn brace_delta(code: &str) -> i64 {
-    let bytes = code.as_bytes();
-    let mut delta = 0i64;
-    let mut i = 0;
-    let mut in_str = false;
-    while i < bytes.len() {
-        let b = bytes[i];
-        if in_str {
-            match b {
-                b'\\' => i += 1,
-                b'"' => in_str = false,
-                _ => {}
-            }
-        } else {
-            match b {
-                b'"' => in_str = true,
-                b'\'' => {
-                    // Char literal (`'x'`, `'\n'`) vs lifetime (`'a`): a
-                    // char literal closes within a few bytes.
-                    let close = bytes[i + 1..]
-                        .iter()
-                        .take(4)
-                        .position(|&c| c == b'\'')
-                        .map(|p| i + 1 + p);
-                    if let Some(c) = close {
-                        i = c;
-                    }
-                }
-                b'{' => delta += 1,
-                b'}' => delta -= 1,
-                _ => {}
-            }
-        }
-        i += 1;
-    }
-    delta
-}
-
-/// True when `word` occurs in `code` delimited by non-identifier chars.
-fn contains_word(code: &str, word: &str) -> bool {
-    let mut start = 0;
-    while let Some(at) = code[start..].find(word) {
-        let at = start + at;
-        let before_ok = at == 0
-            || !code.as_bytes()[at - 1].is_ascii_alphanumeric() && code.as_bytes()[at - 1] != b'_';
-        let after = at + word.len();
-        let after_ok = after >= code.len()
-            || !code.as_bytes()[after].is_ascii_alphanumeric() && code.as_bytes()[after] != b'_';
-        if before_ok && after_ok {
-            return true;
-        }
-        start = at + word.len();
-    }
-    false
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wiring;
 
     fn rules_at(diags: &[Diagnostic]) -> Vec<(&'static str, usize)> {
         diags.iter().map(|d| (d.rule, d.line)).collect()
     }
 
+    // ---------------- original five rules, token-aware ----------------
+
     #[test]
     fn fixture_no_wall_clock_fires() {
         let src = include_str!("../fixtures/no_wall_clock.rs");
-        let diags = scan_file("crates/desim/src/fixture.rs", src);
+        let diags = check_source("crates/desim/src/fixture.rs", src);
         assert_eq!(
             rules_at(&diags),
             vec![("no-wall-clock", 3), ("no-wall-clock", 4)],
@@ -374,7 +269,7 @@ mod tests {
     #[test]
     fn fixture_no_unordered_iteration_fires() {
         let src = include_str!("../fixtures/no_unordered_iteration.rs");
-        let diags = scan_file("crates/snic/src/fixture.rs", src);
+        let diags = check_source("crates/snic/src/fixture.rs", src);
         assert_eq!(
             rules_at(&diags),
             vec![("no-unordered-iteration", 3), ("no-unordered-iteration", 4)],
@@ -385,7 +280,7 @@ mod tests {
     #[test]
     fn fixture_no_raw_time_math_fires() {
         let src = include_str!("../fixtures/no_raw_time_math.rs");
-        let diags = scan_file("crates/netsim/src/fixture.rs", src);
+        let diags = check_source("crates/netsim/src/fixture.rs", src);
         assert_eq!(
             rules_at(&diags),
             vec![("no-raw-time-math", 5), ("no-raw-time-math", 9)],
@@ -396,7 +291,7 @@ mod tests {
     #[test]
     fn fixture_no_foreign_rng_fires() {
         let src = include_str!("../fixtures/no_foreign_rng.rs");
-        let diags = scan_file("crates/sparse/src/fixture.rs", src);
+        let diags = check_source("crates/sparse/src/fixture.rs", src);
         assert_eq!(
             rules_at(&diags),
             vec![
@@ -411,7 +306,7 @@ mod tests {
     #[test]
     fn fixture_no_unwrap_in_hot_path_fires() {
         let src = include_str!("../fixtures/no_unwrap_in_hot_path.rs");
-        let diags = scan_file("crates/switch/src/fixture.rs", src);
+        let diags = check_source("crates/switch/src/fixture.rs", src);
         assert_eq!(
             rules_at(&diags),
             vec![("no-unwrap-in-hot-path", 4)],
@@ -421,61 +316,255 @@ mod tests {
 
     #[test]
     fn rules_are_path_scoped() {
-        // The unordered-iteration fixture is clean outside event paths
-        // (apart from rules that apply everywhere, of which it has none).
+        // The unordered-iteration fixture is clean outside event paths —
+        // but its allow marker then becomes stale (hygiene still fires).
         let src = include_str!("../fixtures/no_unordered_iteration.rs");
-        assert!(scan_file("crates/sparse/src/fixture.rs", src).is_empty());
-        // The unwrap fixture is clean outside hot paths.
-        let src = include_str!("../fixtures/no_unwrap_in_hot_path.rs");
-        assert!(scan_file("crates/hwmodel/src/fixture.rs", src).is_empty());
-        // Nothing under tests/, examples/ or xtask/ is ever scanned by
-        // path scope rules that require crates/.
+        let diags = check_source("crates/sparse/src/fixture.rs", src);
+        assert_eq!(rules_at(&diags), vec![("allow-hygiene", 8)], "{diags:#?}");
+        // Nothing outside crates/ is policed by the path-scoped rules.
         let src = "let t = std::time::Instant::now();";
-        assert!(scan_file("tests/something.rs", src).is_empty());
+        assert!(check_source("tests/something.rs", src).is_empty());
     }
 
     #[test]
-    fn allow_marker_suppresses_same_and_previous_line() {
-        let same = "let t = Instant::now(); // simaudit:allow(no-wall-clock)";
-        assert!(scan_file("crates/desim/src/x.rs", same).is_empty());
-        let prev = "// simaudit:allow(no-wall-clock): host profiling\nlet t = Instant::now();";
-        assert!(scan_file("crates/desim/src/x.rs", prev).is_empty());
-        // The marker names a specific rule; others still fire.
-        let wrong = "let t = Instant::now(); // simaudit:allow(no-foreign-rng)";
-        assert_eq!(scan_file("crates/desim/src/x.rs", wrong).len(), 1);
+    fn componentized_sim_files_are_event_path() {
+        // The pre-refactor scanner still pointed at crates/core/src/sim.rs;
+        // the sim/ component files must be in scope now.
+        let src = "pub fn hot() { let m: std::collections::HashMap<u32, u32> = Default::default(); let _ = m; }";
+        let diags = check_source("crates/core/src/sim/node.rs", src);
+        assert_eq!(rules_at(&diags), vec![("no-unordered-iteration", 1)]);
     }
 
+    // ---------------- lexer-powered robustness ----------------
+
     #[test]
-    fn comments_do_not_trigger_rules() {
+    fn comments_and_literals_do_not_trigger_rules() {
         let src = "// HashMap iteration would be nondeterministic here\nlet x = 1;";
-        assert!(scan_file("crates/snic/src/x.rs", src).is_empty());
+        assert!(check_source("crates/snic/src/x.rs", src).is_empty());
         let src = "/// Unlike `rand`, SplitMix64 is in-tree.\npub struct S;";
-        assert!(scan_file("crates/sparse/src/x.rs", src).is_empty());
+        assert!(check_source("crates/sparse/src/x.rs", src).is_empty());
+        // Identifiers inside string and raw-string literals are inert —
+        // the line-regex scanner could not tell these apart.
+        let src = "let s = \"uses HashMap and rand\"; let r = r#\"Instant::now() // .unwrap()\"#;";
+        assert!(check_source("crates/snic/src/x.rs", src).is_empty());
+        // A '"' char literal must not open a string and hide what follows.
+        let src = "let q = '\"'; let t = std::time::Instant::now();";
+        assert_eq!(
+            rules_at(&check_source("crates/desim/src/x.rs", src)),
+            vec![("no-wall-clock", 1)]
+        );
+    }
+
+    #[test]
+    fn unwrap_matching_is_exact() {
+        // `.unwrap_or(...)` and `.expect_err(...)`-style idents must not
+        // match; the old substring scanner got this right only for
+        // unwrap_or by luck of the parenthesis.
+        let src = "pub fn hot(x: Option<u32>) -> u32 { x.unwrap_or(0) }";
+        assert!(check_source("crates/switch/src/x.rs", src).is_empty());
+        let src = "pub fn hot(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(
+            rules_at(&check_source("crates/switch/src/x.rs", src)),
+            vec![("no-unwrap-in-hot-path", 1)]
+        );
     }
 
     #[test]
     fn test_items_may_use_hash_containers() {
-        // Tests often use HashSet to assert uniqueness; ordering there is
-        // irrelevant, so the rule only polices non-test code.
         let src = "#[cfg(test)]\nmod tests {\n    fn f() { let mut s = std::collections::HashSet::new(); s.insert(1); }\n}\nfn hot() { let _m: std::collections::HashMap<u32, u32> = Default::default(); }";
-        let diags = scan_file("crates/snic/src/x.rs", src);
+        let diags = check_source("crates/snic/src/x.rs", src);
         assert_eq!(rules_at(&diags), vec![("no-unordered-iteration", 5)]);
     }
 
+    // ---------------- allow markers + hygiene ----------------
+
     #[test]
-    fn string_braces_do_not_break_test_tracking() {
-        let src = "#[cfg(test)]\nmod tests {\n    fn f() { println!(\"{}\", 1.to_string()); }\n    fn g() { let _ = \"x\".parse::<u32>().unwrap(); }\n}\npub fn hot() { Some(1).unwrap(); }";
-        let diags = scan_file("crates/switch/src/x.rs", src);
-        assert_eq!(rules_at(&diags), vec![("no-unwrap-in-hot-path", 6)]);
+    fn allow_marker_suppresses_same_and_previous_line() {
+        let same = "let t = Instant::now(); // simaudit:allow(no-wall-clock): host-side CLI timing";
+        assert!(check_source("crates/desim/src/x.rs", same).is_empty());
+        let prev = "// simaudit:allow(no-wall-clock): host profiling only\nlet t = Instant::now();";
+        assert!(check_source("crates/desim/src/x.rs", prev).is_empty());
+        // The marker names a specific rule; others still fire (and the
+        // marker itself is then stale).
+        let wrong = "let t = Instant::now(); // simaudit:allow(no-foreign-rng): wrong rule here";
+        let diags = check_source("crates/desim/src/x.rs", wrong);
+        assert_eq!(
+            rules_at(&diags),
+            vec![("no-wall-clock", 1), ("allow-hygiene", 1)],
+            "{diags:#?}"
+        );
     }
 
     #[test]
-    fn word_boundaries_respected() {
-        // `rng` and `operand` must not match the `rand` word rule.
-        let src = "let operand = rng.next_u64();";
-        assert!(scan_file("crates/sparse/src/x.rs", src).is_empty());
-        assert!(contains_word("use rand::Rng;", "rand"));
-        assert!(!contains_word("operand", "rand"));
-        assert!(!contains_word("rands", "rand"));
+    fn bare_marker_without_justification_is_flagged() {
+        let src = "let t = Instant::now(); // simaudit:allow(no-wall-clock)";
+        let diags = check_source("crates/desim/src/x.rs", src);
+        assert_eq!(rules_at(&diags), vec![("allow-hygiene", 1)], "{diags:#?}");
+        assert!(diags[0].message.contains("justification"), "{}", diags[0]);
+    }
+
+    #[test]
+    fn stale_marker_is_flagged() {
+        let src = "// simaudit:allow(no-wall-clock): nothing here needs this\nlet x = 1;";
+        let diags = check_source("crates/desim/src/x.rs", src);
+        assert_eq!(rules_at(&diags), vec![("allow-hygiene", 1)]);
+        assert!(diags[0].message.contains("stale"), "{}", diags[0]);
+    }
+
+    #[test]
+    fn unknown_rule_marker_is_flagged() {
+        let src = "let x = 1; // simaudit:allow(no-such-rule): typo in the rule name";
+        let diags = check_source("crates/desim/src/x.rs", src);
+        assert_eq!(rules_at(&diags), vec![("allow-hygiene", 1)]);
+        assert!(diags[0].message.contains("unknown rule"), "{}", diags[0]);
+    }
+
+    // ---------------- no-hot-alloc ----------------
+
+    #[test]
+    fn fixture_no_hot_alloc_fires() {
+        let src = include_str!("../fixtures/no_hot_alloc.rs");
+        let diags = check_source("crates/snic/src/fixture.rs", src);
+        assert_eq!(
+            rules_at(&diags),
+            vec![
+                ("no-hot-alloc", 4),
+                ("no-hot-alloc", 5),
+                ("no-hot-alloc", 6),
+                ("no-hot-alloc", 7),
+                ("no-hot-alloc", 8),
+                ("no-hot-alloc", 9),
+            ],
+            "{diags:#?}"
+        );
+        // Outside the hot path the same file is clean apart from the
+        // then-stale allow marker.
+        let diags = check_source("crates/hwmodel/src/fixture.rs", src);
+        assert_eq!(rules_at(&diags), vec![("allow-hygiene", 21)], "{diags:#?}");
+    }
+
+    // ---------------- no-debug-print ----------------
+
+    #[test]
+    fn fixture_no_debug_print_fires() {
+        let src = include_str!("../fixtures/no_debug_print.rs");
+        let diags = check_source("crates/desim/src/fixture.rs", src);
+        assert_eq!(
+            rules_at(&diags),
+            vec![
+                ("no-debug-print", 4),
+                ("no-debug-print", 5),
+                ("no-debug-print", 6),
+            ],
+            "{diags:#?}"
+        );
+        // Binaries own their stdout — only the now-stale marker reports.
+        let diags = check_source("crates/bench/src/bin/fixture.rs", src);
+        assert_eq!(rules_at(&diags), vec![("allow-hygiene", 10)], "{diags:#?}");
+    }
+
+    // ---------------- feature-gate symmetry ----------------
+
+    #[test]
+    fn fixture_feature_symmetry_is_clean_with_stub() {
+        let src = include_str!("../fixtures/feature_symmetry.rs");
+        assert!(check_source("crates/snic/src/fixture.rs", src).is_empty());
+    }
+
+    #[test]
+    fn deleting_the_not_stub_fails_symmetry() {
+        let src = include_str!("../fixtures/feature_symmetry.rs");
+        // Remove the `#[cfg(not(feature = "trace"))]` stub item.
+        let without: String = src
+            .lines()
+            .filter(|l| !l.contains("not(feature") && !l.contains("fn record_flush(_prs"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let diags = check_source("crates/snic/src/fixture.rs", &without);
+        assert_eq!(diags.len(), 1, "{diags:#?}");
+        assert_eq!(diags[0].rule, "feature-symmetry");
+        assert!(diags[0].message.contains("record_flush"), "{}", diags[0]);
+    }
+
+    // ---------------- port wiring ----------------
+
+    fn wiring_fixture() -> (String, String, String) {
+        (
+            include_str!("../fixtures/wiring/events.rs").to_string(),
+            include_str!("../fixtures/wiring/driver.rs").to_string(),
+            include_str!("../fixtures/wiring/node.rs").to_string(),
+        )
+    }
+
+    fn run_wiring(events: &str, driver: &str, node: &str) -> Vec<Diagnostic> {
+        let ev = LexedFile::lex(events);
+        let dr = LexedFile::lex(driver);
+        let no = LexedFile::lex(node);
+        let handlers: Vec<(&str, &LexedFile)> = vec![("driver.rs", &dr), ("node.rs", &no)];
+        wiring::check(&ev, &dr, &handlers)
+    }
+
+    #[test]
+    fn wiring_fixture_is_clean() {
+        let (e, d, n) = wiring_fixture();
+        let diags = run_wiring(&e, &d, &n);
+        assert!(diags.is_empty(), "{diags:#?}");
+    }
+
+    #[test]
+    fn deleting_a_port_arm_fails_wiring() {
+        let (e, d, n) = wiring_fixture();
+        let e: String = e
+            .lines()
+            .filter(|l| !l.contains("Event::PacketAtSwitch { switch }"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let diags = run_wiring(&e, &d, &n);
+        assert_eq!(diags.len(), 1, "{diags:#?}");
+        assert!(diags[0].message.contains("PacketAtSwitch"), "{}", diags[0]);
+    }
+
+    #[test]
+    fn wildcard_port_arm_fails_wiring() {
+        let (e, d, n) = wiring_fixture();
+        let e = e.replace(
+            "Event::PacketAtSwitch { switch } => Port::Rack(switch),",
+            "_ => Port::Rack(0),",
+        );
+        let diags = run_wiring(&e, &d, &n);
+        assert!(
+            diags.iter().any(|d| d.message.contains("wildcard")),
+            "{diags:#?}"
+        );
+    }
+
+    #[test]
+    fn deleting_a_dispatch_arm_fails_wiring() {
+        let (e, d, n) = wiring_fixture();
+        let d: String = d
+            .lines()
+            .filter(|l| !l.contains("Port::Rack"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let diags = run_wiring(&e, &d, &n);
+        assert_eq!(diags.len(), 1, "{diags:#?}");
+        assert!(diags[0].message.contains("Port::Rack"), "{}", diags[0]);
+    }
+
+    #[test]
+    fn unhandled_event_variant_fails_wiring() {
+        let (e, d, n) = wiring_fixture();
+        let n: String = n
+            .lines()
+            .filter(|l| !l.contains("Event::HostIssue"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let diags = run_wiring(&e, &d, &n);
+        assert_eq!(diags.len(), 1, "{diags:#?}");
+        assert!(
+            diags[0].message.contains("never referenced"),
+            "{}",
+            diags[0]
+        );
     }
 }

@@ -1,6 +1,11 @@
 //! `cargo xtask` — the workspace's own build/lint tool.
 
+mod features;
+mod lexer;
 mod lint;
+mod report;
+mod rules;
+mod wiring;
 
 use std::process::ExitCode;
 
@@ -25,6 +30,9 @@ fn usage() {
     eprintln!("usage: cargo xtask <command>");
     eprintln!();
     eprintln!("commands:");
-    eprintln!("  lint    run the simaudit determinism lints over crates/**/*.rs");
+    eprintln!("  lint [--quiet] [--format json|text]");
+    eprintln!("          run the simcheck passes over crates/**/*.rs: the token-level");
+    eprintln!("          rules, Event/Port wiring exhaustiveness, audit/trace feature");
+    eprintln!("          forwarding and cfg symmetry, and allow-marker hygiene");
     eprintln!("          (see docs/STATIC_ANALYSIS.md for the rule catalogue)");
 }

@@ -1,0 +1,47 @@
+//! `no-debug-print`: console output does not belong in library crates.
+//!
+//! `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` in a library file is
+//! either leftover debugging or reporting that belongs in a binary.
+//! Binaries (`src/bin/`), benches and `#[cfg(test)]` code are exempt —
+//! they own their stdout. Deliberate console reporting in a library
+//! (e.g. a CLI helper) carries a justified allow marker.
+
+use super::Sink;
+use crate::lexer::LexedFile;
+
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+/// True when `rel` is library (non-bin, non-bench) source of a crate.
+fn in_library(rel: &str) -> bool {
+    rel.starts_with("crates/")
+        && rel.contains("/src/")
+        && !rel.contains("/src/bin/")
+        && !rel.contains("/benches/")
+}
+
+/// Runs the debug-print rule over one file.
+pub fn scan(rel: &str, lf: &LexedFile, sink: &mut Sink) {
+    if !in_library(rel) {
+        return;
+    }
+    for i in 0..lf.tokens.len() {
+        let Some(word) = lf.ident(i) else {
+            continue;
+        };
+        if PRINT_MACROS.contains(&word)
+            && lf.is_punct(i + 1, b'!')
+            && !lf.in_test(i)
+            && !lf.tokens[i].in_attr
+        {
+            sink.emit(
+                "no-debug-print",
+                lf.tokens[i].line,
+                format!(
+                    "`{word}!` in library code; return the text (or use the \
+                     trace/report plumbing) and let a binary own stdout — \
+                     bins and tests are exempt"
+                ),
+            );
+        }
+    }
+}

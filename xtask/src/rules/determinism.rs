@@ -1,0 +1,124 @@
+//! The five original simaudit determinism rules, re-implemented over the
+//! token stream: `no-wall-clock`, `no-unordered-iteration`,
+//! `no-raw-time-math`, `no-foreign-rng`, `no-unwrap-in-hot-path`.
+//!
+//! Token-awareness fixes the line-scanner's blind spots: identifiers in
+//! strings, raw strings and comments can no longer trip a rule, and
+//! method-name matches are exact (`.unwrap()` no longer matches
+//! `.unwrap_or(...)` by accident of substring).
+
+use super::{in_event_path, in_hot_path, Sink};
+use crate::lexer::LexedFile;
+
+/// Identifiers that mark a foreign randomness source.
+const FOREIGN_RNG: &[&str] = &[
+    "rand",
+    "thread_rng",
+    "ThreadRng",
+    "StdRng",
+    "SeedableRng",
+    "gen_range",
+    "gen_bool",
+];
+
+/// Runs the determinism rules over one file.
+pub fn scan(rel: &str, lf: &LexedFile, sink: &mut Sink) {
+    let wall_clock = rel.starts_with("crates/");
+    let unordered = in_event_path(rel);
+    let raw_time = rel.starts_with("crates/") && rel != "crates/desim/src/time.rs";
+    let foreign_rng = rel.starts_with("crates/") && rel != "crates/desim/src/rng.rs";
+    let unwrap_hot = in_hot_path(rel);
+
+    for i in 0..lf.tokens.len() {
+        let Some(word) = lf.ident(i) else {
+            continue;
+        };
+        if lf.tokens[i].in_attr {
+            continue;
+        }
+        let line = lf.tokens[i].line;
+
+        if wall_clock && (word == "Instant" || word == "SystemTime") {
+            sink.emit(
+                "no-wall-clock",
+                line,
+                "host wall-clock time in simulation code; use the event \
+                 clock (`netsparse_desim::SimTime`) instead"
+                    .to_string(),
+            );
+        }
+
+        if unordered && !lf.in_test(i) && (word == "HashMap" || word == "HashSet") {
+            sink.emit(
+                "no-unordered-iteration",
+                line,
+                "unordered hash container in an event path; iteration order \
+                 is nondeterministic — use BTreeMap/BTreeSet or sort before \
+                 iterating"
+                    .to_string(),
+            );
+        }
+
+        if raw_time {
+            if word == "from_secs_f64" && lf.is_punct(i + 1, b'(') {
+                sink.emit(
+                    "no-raw-time-math",
+                    line,
+                    "ad-hoc float→time conversion outside desim::time; use \
+                     `SimTime::from_ps_f64`/`SimTime::serialization` so \
+                     rounding stays uniform"
+                        .to_string(),
+                );
+            }
+            // `from_ps(<expr with a float cast or rounding>)`: the cast
+            // must happen through the sanctioned constructors instead.
+            if word == "from_ps" && lf.is_punct(i + 1, b'(') {
+                let close = lf.matching_close(i + 1);
+                let mut suspicious = false;
+                for j in i + 2..close {
+                    if (lf.is_ident(j, "as") && lf.is_ident(j + 1, "u64"))
+                        || (lf.is_punct(j, b'.') && lf.is_ident(j + 1, "round"))
+                    {
+                        suspicious = true;
+                        break;
+                    }
+                }
+                if suspicious {
+                    sink.emit(
+                        "no-raw-time-math",
+                        line,
+                        "ad-hoc float→time conversion outside desim::time; use \
+                         `SimTime::from_ps_f64`/`SimTime::serialization` so \
+                         rounding stays uniform"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+
+        if foreign_rng && FOREIGN_RNG.contains(&word) {
+            sink.emit(
+                "no-foreign-rng",
+                line,
+                "randomness outside `netsparse_desim::rng`; draw from a \
+                 seeded `SplitMix64` so runs stay bit-reproducible"
+                    .to_string(),
+            );
+        }
+
+        if unwrap_hot
+            && !lf.in_test(i)
+            && lf.is_punct(i.wrapping_sub(1), b'.')
+            && ((word == "unwrap" && lf.is_punct(i + 1, b'(') && lf.is_punct(i + 2, b')'))
+                || (word == "expect" && lf.is_punct(i + 1, b'(')))
+        {
+            sink.emit(
+                "no-unwrap-in-hot-path",
+                line,
+                "unwrap/expect in a simulation hot path; propagate the error \
+                 or handle the None case (panics abort multi-hour runs)"
+                    .to_string(),
+            );
+        }
+    }
+}

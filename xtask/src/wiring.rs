@@ -1,0 +1,264 @@
+//! `port-wiring`: cross-file exhaustiveness of the Event→Port→component
+//! routing table.
+//!
+//! The component architecture routes every [`Event`] through
+//! `Event::port()` to exactly one component's `handle` — that mapping is
+//! the complete coupling surface of the simulator, and the compiler only
+//! checks it *per match*, not across files. This pass parses the `Event`
+//! and `Port` enums out of `crates/core/src/sim/events.rs` and verifies:
+//!
+//! 1. every `Event` variant is explicitly named in `Event::port()` (and
+//!    the match has no `_ =>` wildcard that could hide a new variant);
+//! 2. every `Port` variant is explicitly dispatched in the driver's
+//!    `dispatch` match (again with no wildcard);
+//! 3. every `Event` variant is referenced by at least one component
+//!    handler file — an event that routes somewhere but is never matched
+//!    or constructed is dead wiring.
+//!
+//! These diagnostics are structural contracts and cannot be silenced
+//! with allow markers.
+
+use crate::lexer::{LexedFile, Tok};
+use crate::report::Diagnostic;
+use std::collections::BTreeSet;
+
+/// Where the event vocabulary lives.
+pub const EVENTS_FILE: &str = "crates/core/src/sim/events.rs";
+/// Where the dispatch loop lives.
+pub const DRIVER_FILE: &str = "crates/core/src/sim/driver.rs";
+/// The component handler files (driver included: it destructures the
+/// fabric-port events itself).
+pub const HANDLER_FILES: &[&str] = &[
+    "crates/core/src/sim/driver.rs",
+    "crates/core/src/sim/node.rs",
+    "crates/core/src/sim/rack.rs",
+    "crates/core/src/sim/fabric.rs",
+];
+
+/// Runs the wiring pass. `handlers` pairs each handler path with its
+/// lexed source; `events`/`driver` are the lexed routing files.
+pub fn check(
+    events: &LexedFile,
+    driver: &LexedFile,
+    handlers: &[(&str, &LexedFile)],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    let Some((event_variants, _)) = enum_variants(events, "Event") else {
+        diags.push(file_diag(
+            EVENTS_FILE,
+            1,
+            "cannot find `enum Event` — the wiring pass needs the event \
+             vocabulary here"
+                .to_string(),
+        ));
+        return diags;
+    };
+    let Some((port_variants, _)) = enum_variants(events, "Port") else {
+        diags.push(file_diag(
+            EVENTS_FILE,
+            1,
+            "cannot find `enum Port` — the wiring pass needs the port map \
+             here"
+                .to_string(),
+        ));
+        return diags;
+    };
+
+    // 1. Every Event variant is named in Event::port(); no wildcard arm.
+    match fn_body(events, "port") {
+        Some((start, end)) => {
+            let mapped = path_refs(events, start, end, "Event");
+            for (v, line) in &event_variants {
+                if !mapped.contains(v.as_str()) {
+                    diags.push(file_diag(
+                        EVENTS_FILE,
+                        *line,
+                        format!(
+                            "Event::{v} is not mapped in Event::port(); every \
+                             event variant must name its owning port \
+                             explicitly"
+                        ),
+                    ));
+                }
+            }
+            if let Some(line) = wildcard_arm(events, start, end) {
+                diags.push(file_diag(
+                    EVENTS_FILE,
+                    line,
+                    "wildcard `_ =>` arm in Event::port() hides unmapped \
+                     variants; name every variant explicitly"
+                        .to_string(),
+                ));
+            }
+        }
+        None => diags.push(file_diag(
+            EVENTS_FILE,
+            1,
+            "cannot find `fn port` — Event::port() is the single routing \
+             table and must exist"
+                .to_string(),
+        )),
+    }
+
+    // 2. Every Port variant is dispatched by the driver; no wildcard arm.
+    match fn_body(driver, "dispatch") {
+        Some((start, end)) => {
+            let dispatched = path_refs(driver, start, end, "Port");
+            for (v, line) in &port_variants {
+                if !dispatched.contains(v.as_str()) {
+                    diags.push(Diagnostic {
+                        file: DRIVER_FILE.to_string(),
+                        line: *line,
+                        rule: "port-wiring",
+                        message: format!(
+                            "Port::{v} is never dispatched in the driver's \
+                             `dispatch` match; events routed to it would be \
+                             dropped"
+                        ),
+                    });
+                }
+            }
+            if let Some(line) = wildcard_arm(driver, start, end) {
+                diags.push(Diagnostic {
+                    file: DRIVER_FILE.to_string(),
+                    line,
+                    rule: "port-wiring",
+                    message: "wildcard `_ =>` arm in the driver's `dispatch` \
+                              match hides undispatched ports; name every Port \
+                              variant explicitly"
+                        .to_string(),
+                });
+            }
+        }
+        None => diags.push(Diagnostic {
+            file: DRIVER_FILE.to_string(),
+            line: 1,
+            rule: "port-wiring",
+            message: "cannot find `fn dispatch` — the driver must own the \
+                      port dispatch match"
+                .to_string(),
+        }),
+    }
+
+    // 3. Every Event variant is referenced by some component handler.
+    let mut handled: BTreeSet<String> = BTreeSet::new();
+    for (_, lf) in handlers {
+        handled.extend(path_refs(lf, 0, lf.tokens.len(), "Event"));
+    }
+    for (v, line) in &event_variants {
+        if !handled.contains(v.as_str()) {
+            diags.push(file_diag(
+                EVENTS_FILE,
+                *line,
+                format!(
+                    "Event::{v} is routed but never referenced by any \
+                     component handler (driver/node/rack/fabric) — dead \
+                     wiring or a missing match arm"
+                ),
+            ));
+        }
+    }
+
+    diags
+}
+
+fn file_diag(file: &str, line: usize, message: String) -> Diagnostic {
+    Diagnostic {
+        file: file.to_string(),
+        line,
+        rule: "port-wiring",
+        message,
+    }
+}
+
+/// The variants of `enum <name>`, each with its definition line, plus
+/// the enum's own line. `None` when the enum is absent.
+fn enum_variants(lf: &LexedFile, name: &str) -> Option<(Vec<(String, usize)>, usize)> {
+    let mut i = 0;
+    let open = loop {
+        if i + 1 >= lf.tokens.len() {
+            return None;
+        }
+        if lf.is_ident(i, "enum") && !lf.tokens[i].in_attr && lf.is_ident(i + 1, name) {
+            // Skip generics and bounds to the body brace.
+            let mut j = i + 2;
+            while j < lf.tokens.len() && !lf.is_punct(j, b'{') {
+                j += 1;
+            }
+            break j;
+        }
+        i += 1;
+    };
+    let enum_line = lf.tokens[i].line;
+    let close = lf.matching_close(open);
+    let mut variants = Vec::new();
+    let mut j = open + 1;
+    let mut expect_name = true;
+    while j < close {
+        match lf.tokens[j].kind {
+            // Skip a variant's payload or discriminant group wholesale.
+            Tok::Punct(b'{') | Tok::Punct(b'(') | Tok::Punct(b'[') => {
+                j = lf.matching_close(j) + 1;
+            }
+            Tok::Punct(b',') => {
+                expect_name = true;
+                j += 1;
+            }
+            Tok::Ident if expect_name && !lf.tokens[j].in_attr => {
+                variants.push((lf.text(j).to_string(), lf.tokens[j].line));
+                expect_name = false;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    Some((variants, enum_line))
+}
+
+/// Token range (exclusive) of the body of the first `fn <name>`.
+fn fn_body(lf: &LexedFile, name: &str) -> Option<(usize, usize)> {
+    for i in 0..lf.tokens.len() {
+        if lf.is_ident(i, "fn") && !lf.tokens[i].in_attr && lf.is_ident(i + 1, name) {
+            let mut j = i + 2;
+            while j < lf.tokens.len() {
+                match lf.tokens[j].kind {
+                    Tok::Punct(b'{') => return Some((j, lf.matching_close(j))),
+                    Tok::Punct(b';') => break,
+                    Tok::Punct(b'(') | Tok::Punct(b'[') => j = lf.matching_close(j) + 1,
+                    _ => j += 1,
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Every `X` in `<base>::X` path references within `[start, end)`.
+fn path_refs(lf: &LexedFile, start: usize, end: usize, base: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let end = end.min(lf.tokens.len());
+    for i in start..end {
+        if lf.is_ident(i, base)
+            && !lf.tokens[i].in_attr
+            && lf.is_punct(i + 1, b':')
+            && lf.is_punct(i + 2, b':')
+        {
+            if let Some(v) = lf.ident(i + 3) {
+                out.insert(v.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Line of a `_ =>` match arm within `[start, end)`, if any.
+fn wildcard_arm(lf: &LexedFile, start: usize, end: usize) -> Option<usize> {
+    let end = end.min(lf.tokens.len());
+    for i in start..end {
+        if lf.is_ident(i, "_") && lf.is_punct(i + 1, b'=') && lf.is_punct(i + 2, b'>') {
+            return Some(lf.tokens[i].line);
+        }
+    }
+    None
+}
