@@ -7,15 +7,19 @@
 //! across threads via [`sweep::SweepRunner`] (`--workers`/`--parallel`)
 //! with byte-identical output at any worker count. Micro-benchmarks of
 //! the substrate components live in `benches/`, running on the in-tree
-//! [`microbench`] harness.
+//! [`microbench`] harness. The [`chaos`] module is the chaoscheck
+//! harness: seed-derived fault scenarios, invariant oracles, and the
+//! failing-schedule shrinker behind the `chaos` binary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod microbench;
 pub mod opts;
 pub mod sweep;
 pub mod tables;
 
+pub use chaos::{ChaosScenario, ScenarioOutcome};
 pub use opts::BenchOpts;
-pub use sweep::SweepRunner;
+pub use sweep::{SweepError, SweepRunner};

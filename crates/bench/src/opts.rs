@@ -70,6 +70,7 @@ impl BenchOpts {
                     );
                     std::process::exit(0);
                 }
+                // simaudit:allow(no-lib-panic): CLI usage error; the bench binaries own this failure path
                 other => panic!("unknown option '{other}' (try --help)"),
             }
         }

@@ -17,9 +17,63 @@
 //! not smuggle state between indices. `tests/sweep_parallel.rs` pins the
 //! contract end to end against the engine's audit digests.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use crate::opts::BenchOpts;
+
+/// A sweep point that panicked, identified by its submission index.
+///
+/// [`SweepRunner::try_run`] catches the unwind at the failing point,
+/// poisons the work queue so the other workers stop claiming, and hands
+/// back this structured error instead of hanging or aborting the whole
+/// sweep. The original panic payload is preserved for callers
+/// (like [`SweepRunner::run`]) that want to re-raise it.
+pub struct SweepError {
+    /// Submission index of the point that panicked. When several points
+    /// panic concurrently, the lowest recorded index is reported.
+    pub index: usize,
+    /// The panic message, when the payload was a string (the usual
+    /// `panic!`/`assert!` case).
+    pub message: String,
+    payload: Box<dyn std::any::Any + Send>,
+}
+
+impl SweepError {
+    fn new(index: usize, payload: Box<dyn std::any::Any + Send>) -> Self {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+        SweepError {
+            index,
+            message,
+            payload,
+        }
+    }
+
+    /// The original panic payload, for re-raising with
+    /// `std::panic::resume_unwind`.
+    pub fn into_payload(self) -> Box<dyn std::any::Any + Send> {
+        self.payload
+    }
+}
+
+impl std::fmt::Debug for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepError")
+            .field("index", &self.index)
+            .field("message", &self.message)
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sweep point {} panicked: {}", self.index, self.message)
+    }
+}
 
 /// Runs the independent points of a sweep across a worker pool,
 /// returning results in submission order.
@@ -66,49 +120,87 @@ impl SweepRunner {
     /// sees the same `Vec` either way.
     ///
     /// A panic inside `point` propagates to the caller (after the other
-    /// workers drain), preserving the panic payload — sweep assertions
-    /// behave the same serial and parallel.
+    /// workers stop at the next claim), preserving the panic payload —
+    /// sweep assertions behave the same serial and parallel. Use
+    /// [`SweepRunner::try_run`] to receive the failing index as a
+    /// structured [`SweepError`] instead of unwinding.
     pub fn run<T, F>(&self, n: usize, point: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        match self.try_run(n, point) {
+            Ok(results) => results,
+            Err(e) => std::panic::resume_unwind(e.into_payload()),
+        }
+    }
+
+    /// Panic-isolating variant of [`SweepRunner::run`]: each point runs
+    /// under `catch_unwind`, so one exploding point cannot take down (or
+    /// hang) the sweep. On failure the work queue is poisoned — workers
+    /// stop claiming new points, in-flight points finish, the scope joins
+    /// — and the first failing point (lowest index among those recorded)
+    /// comes back as a [`SweepError`] carrying its panic payload.
+    pub fn try_run<T, F>(&self, n: usize, point: F) -> Result<Vec<T>, SweepError>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        // A panicked point's partially-built value is dropped wholesale
+        // and the sweep result discarded, so unwind safety holds.
+        let guarded = |i: usize| catch_unwind(AssertUnwindSafe(|| point(i)));
         if self.workers == 1 || n <= 1 {
-            return (0..n).map(point).collect();
+            let mut results = Vec::with_capacity(n);
+            for i in 0..n {
+                results.push(guarded(i).map_err(|p| SweepError::new(i, p))?);
+            }
+            return Ok(results);
         }
         let next = AtomicUsize::new(0);
-        let point = &point;
+        let poisoned = AtomicBool::new(false);
+        let guarded = &guarded;
         let next = &next;
+        let poisoned = &poisoned;
         let mut tagged: Vec<(usize, T)> = Vec::with_capacity(n);
-        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut failures: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..self.workers.min(n))
                 .map(|_| {
                     s.spawn(move || {
                         let mut local = Vec::new();
-                        loop {
+                        let mut failed = None;
+                        while !poisoned.load(Ordering::Relaxed) {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
-                            local.push((i, point(i)));
+                            match guarded(i) {
+                                Ok(v) => local.push((i, v)),
+                                Err(payload) => {
+                                    poisoned.store(true, Ordering::Relaxed);
+                                    failed = Some((i, payload));
+                                    break;
+                                }
+                            }
                         }
-                        local
+                        (local, failed)
                     })
                 })
                 .collect();
             for h in handles {
-                match h.join() {
-                    Ok(local) => tagged.extend(local),
-                    Err(payload) => panic = Some(payload),
+                // Workers cannot unwind (every point is caught), so the
+                // join itself is infallible.
+                if let Ok((local, failed)) = h.join() {
+                    tagged.extend(local);
+                    failures.extend(failed);
                 }
             }
         });
-        if let Some(payload) = panic {
-            std::panic::resume_unwind(payload);
+        if let Some((index, payload)) = failures.into_iter().min_by_key(|&(i, _)| i) {
+            return Err(SweepError::new(index, payload));
         }
         tagged.sort_unstable_by_key(|&(i, _)| i);
-        tagged.into_iter().map(|(_, v)| v).collect()
+        Ok(tagged.into_iter().map(|(_, v)| v).collect())
     }
 
     /// [`run`](Self::run) over a slice: evaluates `f` on every item,
@@ -162,6 +254,27 @@ mod tests {
         let items = ["a", "bb", "ccc"];
         let lens = SweepRunner::new(2).map(&items, |s| s.len());
         assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn try_run_identifies_the_failing_point() {
+        for workers in [1usize, 2, 8] {
+            let err = SweepRunner::new(workers)
+                .try_run(16, |i| {
+                    assert!(i != 5, "point 5 exploded");
+                    i
+                })
+                .expect_err("point 5 must fail the sweep");
+            assert_eq!(err.index, 5);
+            assert!(err.message.contains("point 5 exploded"), "{err}");
+            assert!(err.to_string().contains("sweep point 5"), "{err}");
+        }
+    }
+
+    #[test]
+    fn try_run_succeeds_when_no_point_panics() {
+        let got = SweepRunner::new(4).try_run(12, |i| i * 2).unwrap();
+        assert_eq!(got, (0..12).map(|i| i * 2).collect::<Vec<_>>());
     }
 
     #[test]

@@ -552,6 +552,32 @@ impl Default for Mechanisms {
     }
 }
 
+/// Liveness limits applied by [`try_simulate`](crate::sim::try_simulate):
+/// a deterministic event budget and a zero-delay-loop bound, mapped onto
+/// [`netsparse_desim::Liveness`]. With both `None` (the default, and what
+/// every committed experiment uses) the simulator runs the exact unguarded
+/// loop it always has — digests are unchanged and the checks cost nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimLimits {
+    /// Abort with [`SimError::Stalled`](crate::sim::SimError) once this
+    /// many events have run with work still pending.
+    pub max_events: Option<u64>,
+    /// Abort once this many consecutive events run at a frozen instant.
+    pub max_stagnant_events: Option<u64>,
+}
+
+impl SimLimits {
+    /// No limits — the unguarded default.
+    pub fn none() -> Self {
+        SimLimits::default()
+    }
+
+    /// Whether any limit is armed.
+    pub fn is_armed(&self) -> bool {
+        self.max_events.is_some() || self.max_stagnant_events.is_some()
+    }
+}
+
 /// Full configuration of a simulated cluster.
 ///
 /// Two profiles are provided:
@@ -600,6 +626,10 @@ pub struct ClusterConfig {
     pub concat_impl: ConcatImpl,
     /// Fault injection (§7.1); defaults to lossless.
     pub faults: FaultConfig,
+    /// Liveness limits for [`try_simulate`](crate::sim::try_simulate);
+    /// defaults to none (the run loop is unguarded and byte-identical to
+    /// the pre-limit engine).
+    pub limits: SimLimits,
 }
 
 impl ClusterConfig {
@@ -619,6 +649,7 @@ impl ClusterConfig {
             adaptive_batch: false,
             concat_impl: ConcatImpl::Dedicated,
             faults: FaultConfig::none(),
+            limits: SimLimits::none(),
         }
     }
 

@@ -91,6 +91,11 @@ pub struct FaultReport {
     /// still delivered; the ledger counts them separately to avoid
     /// over-resolving).
     pub stale_responses: u64,
+    /// PR ledger entries still open at termination: PRs whose packet was
+    /// dropped but whose command completed without them (e.g. a lost
+    /// duplicate). Closes the conservation law exactly:
+    /// `issued == resolved + abandoned_prs + orphaned_prs`.
+    pub orphaned_prs: u64,
     /// Set when `watchdog_ns` is below the estimated worst-case command
     /// RTT: the watchdog restarts *healthy* commands, and the resulting
     /// storm masquerades as loss.

@@ -17,7 +17,9 @@
 //! off), which is what lets [`simulate`] and `simulate_traced` share every
 //! line of the event loop.
 
-use netsparse_desim::{Engine, Histogram, LossProcess, Reservoir, Scheduler, SimTime, SplitMix64};
+use netsparse_desim::{
+    Engine, Histogram, Liveness, LossProcess, Reservoir, Scheduler, SimTime, SplitMix64,
+};
 use netsparse_netsim::Element;
 use netsparse_sparse::CommWorkload;
 
@@ -26,6 +28,7 @@ use netsparse_desim::trace::{lane, TraceConfig, TraceEvent, TraceReport, Tracer,
 
 use crate::config::ClusterConfig;
 use crate::metrics::{FaultReport, HotLink, NodeReport, SimReport};
+use crate::sim::error::SimError;
 use crate::sim::events::{Event, FaultAction, Port};
 use crate::sim::fabric::Fabric;
 use crate::sim::node::{build_nodes, NodeState};
@@ -124,17 +127,18 @@ struct World<'a> {
 }
 
 impl<'a> World<'a> {
-    fn new(cfg: &'a ClusterConfig, wl: &'a CommWorkload) -> Self {
-        let fabric = Fabric::new(cfg);
-        assert_eq!(
-            fabric.net.nodes(),
-            wl.nodes(),
-            "workload node count must match the topology"
-        );
-        let pending_transitions = fabric.resolve_fault_schedule(cfg);
+    fn try_new(cfg: &'a ClusterConfig, wl: &'a CommWorkload) -> Result<Self, SimError> {
+        let fabric = Fabric::try_new(cfg)?;
+        if fabric.net.nodes() != wl.nodes() {
+            return Err(SimError::WorkloadMismatch {
+                workload_nodes: wl.nodes(),
+                topology_nodes: fabric.net.nodes(),
+            });
+        }
+        let pending_transitions = fabric.resolve_fault_schedule(cfg)?;
         let nodes = build_nodes(cfg, wl);
         let racks = build_racks(cfg, fabric.net.switches());
-        World {
+        Ok(World {
             cfg,
             wl,
             nodes,
@@ -142,7 +146,7 @@ impl<'a> World<'a> {
             fabric,
             shared: Shared::new(cfg),
             pending_transitions,
-        }
+        })
     }
 
     /// Wires `tracer` into every instrumented component: RIG units, NIC
@@ -191,6 +195,7 @@ impl<'a> World<'a> {
             Port::Rack(s) => self.racks[s as usize].handle(now, ev, &mut ctx),
             Port::Fabric => {
                 let Event::FaultTransition { action } = ev else {
+                    // simaudit:allow(no-lib-panic): the port-wiring lint pass proves this arm unreachable
                     unreachable!("only fault transitions address the fabric port");
                 };
                 ctx.fabric.apply_fault(ctx.shared, action);
@@ -255,6 +260,10 @@ impl<'a> World<'a> {
         let k = self.cfg.k;
         self.shared.loss.finish();
         let mut fr = std::mem::take(&mut self.shared.faults);
+        // Ledger entries still open at termination (dropped PRs whose
+        // command completed without them) close the conservation law:
+        // issued == resolved + abandoned + orphaned.
+        fr.orphaned_prs = self.nodes.iter().map(|n| n.issue_times.len() as u64).sum();
         fr.dropped_loss = self.shared.loss.drops();
         fr.drop_bursts = self.shared.loss.burst_lengths().clone();
         fr.degraded_nodes = self.nodes.iter().filter(|n| n.degraded_mode).count() as u64;
@@ -408,18 +417,29 @@ impl<'a> World<'a> {
 ///
 /// # Panics
 ///
-/// Panics if the workload's node count differs from the topology's, or if
-/// the configuration fails [`ClusterConfig::validate`] (e.g. packet loss
-/// configured without a watchdog).
+/// Panics on any [`SimError`]: the workload's node count differs from the
+/// topology's, the configuration fails [`ClusterConfig::validate`] (e.g.
+/// packet loss configured without a watchdog), the topology is
+/// unroutable, or an armed [`SimLimits`](crate::config::SimLimits)
+/// liveness budget trips. Callers that must survive arbitrary generated
+/// configurations use [`try_simulate`] instead.
 ///
 /// # Example
 ///
 /// See the crate-level example.
 pub fn simulate(cfg: &ClusterConfig, wl: &CommWorkload) -> SimReport {
-    if let Err(e) = cfg.validate() {
-        panic!("invalid cluster config: {e}");
-    }
-    let world = World::new(cfg, wl);
+    // simaudit:allow(no-lib-panic): documented panicking wrapper over try_simulate for experiments
+    try_simulate(cfg, wl).unwrap_or_else(|e| panic!("simulate: {e}"))
+}
+
+/// The fallible simulation entry point: every failure mode — invalid
+/// configuration, workload/topology mismatch, unroutable topology, fault
+/// schedule naming absent links, liveness stall — comes back as a typed
+/// [`SimError`] instead of a panic. Validation is front-loaded, so a bad
+/// configuration is rejected before any event runs.
+pub fn try_simulate(cfg: &ClusterConfig, wl: &CommWorkload) -> Result<SimReport, SimError> {
+    cfg.validate()?;
+    let world = World::try_new(cfg, wl)?;
     drive(world)
 }
 
@@ -433,10 +453,19 @@ pub fn simulate(cfg: &ClusterConfig, wl: &CommWorkload) -> SimReport {
 /// Same conditions as [`simulate`].
 #[cfg(feature = "trace")]
 pub fn simulate_traced(cfg: &ClusterConfig, wl: &CommWorkload, tcfg: TraceConfig) -> SimReport {
-    if let Err(e) = cfg.validate() {
-        panic!("invalid cluster config: {e}");
-    }
-    let mut world = World::new(cfg, wl);
+    // simaudit:allow(no-lib-panic): documented panicking wrapper over try_simulate_traced
+    try_simulate_traced(cfg, wl, tcfg).unwrap_or_else(|e| panic!("simulate: {e}"))
+}
+
+/// The fallible counterpart of [`simulate_traced`]; see [`try_simulate`].
+#[cfg(feature = "trace")]
+pub fn try_simulate_traced(
+    cfg: &ClusterConfig,
+    wl: &CommWorkload,
+    tcfg: TraceConfig,
+) -> Result<SimReport, SimError> {
+    cfg.validate()?;
+    let mut world = World::try_new(cfg, wl)?;
     let tracer = Tracer::new(tcfg);
     world.attach_tracer(&tracer);
     drive(world)
@@ -444,8 +473,11 @@ pub fn simulate_traced(cfg: &ClusterConfig, wl: &CommWorkload, tcfg: TraceConfig
 
 /// The single event-loop body behind [`simulate`] and `simulate_traced`:
 /// inject the fault schedule and the initial host stimuli, drain the
-/// queue through the port dispatcher, then assemble the report.
-fn drive(mut world: World<'_>) -> SimReport {
+/// queue through the port dispatcher, then assemble the report. With
+/// `cfg.limits` unarmed (every committed experiment) this runs the exact
+/// unguarded engine loop; armed limits route through
+/// [`Engine::run_guarded`] and surface stalls as [`SimError::Stalled`].
+fn drive(mut world: World<'_>) -> Result<SimReport, SimError> {
     let mut engine: Engine<Event> = Engine::new();
     for (t, action) in std::mem::take(&mut world.pending_transitions) {
         engine.schedule(t, Event::FaultTransition { action });
@@ -456,8 +488,19 @@ fn drive(mut world: World<'_>) -> SimReport {
         }
     }
     // The run drains naturally: every queued PR has an armed expiry and
-    // every outstanding PR a response in flight.
-    engine.run(|now, ev, sched| world.dispatch(now, ev, sched));
+    // every outstanding PR a response in flight. The liveness guard only
+    // exists to turn a model bug (or an adversarial chaos scenario) into
+    // a structured stall instead of a hang.
+    let limits = world.cfg.limits;
+    if limits.is_armed() {
+        let guard = Liveness {
+            max_events: limits.max_events,
+            max_stagnant_events: limits.max_stagnant_events,
+        };
+        engine.run_guarded(guard, |now, ev, sched| world.dispatch(now, ev, sched))?;
+    } else {
+        engine.run(|now, ev, sched| world.dispatch(now, ev, sched));
+    }
     let digest = engine.audit_digest();
-    world.into_report(engine.processed(), digest)
+    Ok(world.into_report(engine.processed(), digest))
 }

@@ -19,6 +19,7 @@ use netsparse_desim::trace::{lane, DropReason, TraceEvent, TrackId};
 
 use crate::config::{ClusterConfig, FaultTarget};
 use crate::sim::driver::Shared;
+use crate::sim::error::SimError;
 use crate::sim::events::{Event, FaultAction};
 
 /// Link state, routing tables, and the live failure set of the cluster
@@ -38,9 +39,11 @@ pub(crate) struct Fabric {
 
 impl Fabric {
     /// Builds the network, its per-link runtime state, and the initial
-    /// (failure-free) routing tables from the precomputed paths.
-    pub(crate) fn new(cfg: &ClusterConfig) -> Self {
-        let net = Network::new(cfg.topology);
+    /// (failure-free) routing tables from the precomputed paths. An
+    /// unroutable or degenerate topology comes back as a typed
+    /// [`SimError::Route`] so generated configurations can be rejected.
+    pub(crate) fn try_new(cfg: &ClusterConfig) -> Result<Self, SimError> {
+        let net = Network::try_new(cfg.topology)?;
         let n_nodes = net.nodes();
         let n_switches = net.switches();
 
@@ -57,12 +60,13 @@ impl Fabric {
                 if src == dst {
                     continue;
                 }
-                let path = net.path(src, dst);
+                let path = net.try_path(src, dst)?;
                 let mut prev = Element::Nic(src);
                 for hop in &path.hops {
                     match prev {
                         Element::Nic(n) if n == src => {
                             let Element::Switch(sw) = hop.to else {
+                                // simaudit:allow(no-lib-panic): netsim paths start NIC->switch by construction
                                 panic!("first hop must reach a switch");
                             };
                             from_nic[src as usize] = (hop.link, sw.0);
@@ -82,6 +86,7 @@ impl Fabric {
                                 downlink[n as usize] = hop.link;
                             }
                         }
+                        // simaudit:allow(no-lib-panic): netsim paths terminate at the first foreign NIC
                         Element::Nic(_) => panic!("path passes through a foreign NIC"),
                     }
                     prev = hop.to;
@@ -98,22 +103,25 @@ impl Fabric {
             links[downlink[d.node as usize].0 as usize] = Link::new(params);
         }
 
-        Fabric {
+        Ok(Fabric {
             net,
             links,
             from_nic,
             downlink,
             from_switch,
             failures: FailureSet::new(),
-        }
+        })
     }
 
     /// Resolves the config's fault schedule to concrete netsim ids up
-    /// front, so transitions are O(1) mutations at event time.
+    /// front, so transitions are O(1) mutations at event time. A schedule
+    /// naming a switch-switch link the topology does not have is a typed
+    /// [`SimError::MissingFaultLink`] — config validation checks index
+    /// ranges, but only the built network knows its adjacencies.
     pub(crate) fn resolve_fault_schedule(
         &self,
         cfg: &ClusterConfig,
-    ) -> Vec<(SimTime, FaultAction)> {
+    ) -> Result<Vec<(SimTime, FaultAction)>, SimError> {
         let mut pending: Vec<(SimTime, FaultAction)> = Vec::new();
         for ev in &cfg.faults.failures {
             match ev.target {
@@ -125,15 +133,13 @@ impl Fabric {
                     }
                 }
                 FaultTarget::SwitchLink { from, to } => {
-                    let link = match self.net.find_link(
-                        Element::Switch(SwitchId(from)),
-                        Element::Switch(SwitchId(to)),
-                    ) {
-                        Some(l) => l,
-                        None => panic!(
-                            "fault schedule cuts a nonexistent link: switch {from} -> switch {to}"
-                        ),
-                    };
+                    let link = self
+                        .net
+                        .find_link(
+                            Element::Switch(SwitchId(from)),
+                            Element::Switch(SwitchId(to)),
+                        )
+                        .ok_or(SimError::MissingFaultLink { from, to })?;
                     pending.push((SimTime::from_ns(ev.at_ns), FaultAction::FailLink(link)));
                     if let Some(r) = ev.repair_at_ns {
                         pending.push((SimTime::from_ns(r), FaultAction::RepairLink(link)));
@@ -141,7 +147,7 @@ impl Fabric {
                 }
             }
         }
-        pending
+        Ok(pending)
     }
 
     /// The static topology the fabric was built over.
@@ -306,7 +312,7 @@ mod tests {
             spines: 2,
         };
         let cfg = ClusterConfig::mini(topo, 16);
-        (Fabric::new(&cfg), Shared::new(&cfg))
+        (Fabric::try_new(&cfg).unwrap(), Shared::new(&cfg))
     }
 
     /// The fabric can be constructed and exercised without any node or

@@ -43,14 +43,16 @@
 //!   feature), with auditing and tracing injected as feature-gated hooks.
 
 mod driver;
+mod error;
 mod events;
 mod fabric;
 mod node;
 mod rack;
 
-pub use driver::simulate;
+pub use driver::{simulate, try_simulate};
 #[cfg(feature = "trace")]
-pub use driver::simulate_traced;
+pub use driver::{simulate_traced, try_simulate_traced};
+pub use error::SimError;
 
 #[cfg(test)]
 mod tests {

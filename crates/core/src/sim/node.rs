@@ -202,6 +202,7 @@ impl Component for NodeState {
             Event::Watchdog {
                 unit, generation, ..
             } => self.watchdog(now, unit, generation, ctx),
+            // simaudit:allow(no-lib-panic): the port-wiring lint pass proves this arm unreachable
             _ => unreachable!("event routed to the wrong port"),
         }
     }
@@ -749,7 +750,7 @@ mod tests {
 
         let mut nodes = build_nodes(&cfg, &wl);
         let node = &mut nodes[0];
-        let mut fabric = Fabric::new(&cfg);
+        let mut fabric = Fabric::try_new(&cfg).unwrap();
         let mut shared = Shared::new(&cfg);
 
         let mut engine: Engine<Event> = Engine::new();
@@ -791,7 +792,7 @@ mod tests {
 
         let mut nodes = build_nodes(&cfg, &wl);
         let node = &mut nodes[0];
-        let mut fabric = Fabric::new(&cfg);
+        let mut fabric = Fabric::try_new(&cfg).unwrap();
         let mut shared = Shared::new(&cfg);
 
         let mut engine: Engine<Event> = Engine::new();

@@ -80,6 +80,7 @@ impl Component for RackState {
                 self.packet_at_switch(now, from_nic, pkt, ctx);
             }
             Event::SwitchConcatExpire { .. } => self.concat_expire(now, ctx),
+            // simaudit:allow(no-lib-panic): the port-wiring lint pass proves this arm unreachable
             _ => unreachable!("event routed to the wrong port"),
         }
     }
@@ -250,7 +251,7 @@ mod tests {
     fn cache_fills_on_response_and_hits_on_read_in_isolation() {
         let cfg = ClusterConfig::mini(topo(), 16);
         let wl = workload();
-        let mut fabric = Fabric::new(&cfg);
+        let mut fabric = Fabric::try_new(&cfg).unwrap();
         let mut shared = Shared::new(&cfg);
         let mut racks = build_racks(&cfg, fabric.net.switches());
         let tor = &mut racks[0];
@@ -311,7 +312,7 @@ mod tests {
     fn spine_forwards_without_processing() {
         let cfg = ClusterConfig::mini(topo(), 16);
         let wl = workload();
-        let mut fabric = Fabric::new(&cfg);
+        let mut fabric = Fabric::try_new(&cfg).unwrap();
         let mut shared = Shared::new(&cfg);
         let mut racks = build_racks(&cfg, fabric.net.switches());
         // Leaf-spine 2x4: switches 0..2 are ToRs, 2..4 spines.

@@ -8,8 +8,87 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 use crate::time::SimTime;
+
+/// Liveness limits for [`Engine::run_guarded`].
+///
+/// Both limits are optional; the default (`Liveness::none()`) imposes
+/// nothing, and `run_guarded` with it behaves exactly like
+/// [`Engine::run`]. The limits detect the two ways a discrete-event
+/// model can fail to terminate: unbounded event cascades (caught by
+/// `max_events`) and zero-delay loops where events keep firing at a
+/// frozen instant (caught by `max_stagnant_events`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Liveness {
+    /// Abort once this many events have been processed while work is
+    /// still pending. A run that *finishes* on its budget's last event
+    /// is not a stall.
+    pub max_events: Option<u64>,
+    /// Abort once this many consecutive events run without simulated
+    /// time advancing (a zero-delay livelock).
+    pub max_stagnant_events: Option<u64>,
+}
+
+impl Liveness {
+    /// No limits: `run_guarded` degenerates to `run`.
+    pub fn none() -> Self {
+        Liveness::default()
+    }
+
+    /// Whether any limit is armed.
+    pub fn is_armed(&self) -> bool {
+        self.max_events.is_some() || self.max_stagnant_events.is_some()
+    }
+}
+
+/// Why [`Engine::run_guarded`] aborted a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// The event budget was exhausted with events still pending.
+    EventBudget,
+    /// Simulated time stopped advancing: too many consecutive events
+    /// ran at the same instant.
+    TimeFrozen,
+}
+
+/// A structured no-progress report from [`Engine::run_guarded`] — the
+/// alternative to a simulation that hangs forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallReport {
+    /// What tripped the watchdog.
+    pub cause: StallCause,
+    /// Simulated time at the abort.
+    pub now: SimTime,
+    /// Events processed before the abort.
+    pub processed: u64,
+    /// Events still pending in the queue (work the model never got to).
+    pub pending: usize,
+    /// Consecutive events processed at the frozen instant (0 unless the
+    /// cause is [`StallCause::TimeFrozen`]).
+    pub stagnant_events: u64,
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.cause {
+            StallCause::EventBudget => write!(
+                f,
+                "event budget exhausted at t={} after {} events ({} still pending)",
+                self.now, self.processed, self.pending
+            ),
+            StallCause::TimeFrozen => write!(
+                f,
+                "time frozen at t={}: {} consecutive events without progress \
+                 ({} processed, {} pending)",
+                self.now, self.stagnant_events, self.processed, self.pending
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StallReport {}
 
 struct Entry<E> {
     time: SimTime,
@@ -303,6 +382,76 @@ impl<E> Engine<E> {
         self.now
     }
 
+    /// Runs like [`Engine::run`], but under the liveness limits in
+    /// `guard`: instead of hanging on a runaway or zero-delay model,
+    /// the loop aborts with a structured [`StallReport`].
+    ///
+    /// With `Liveness::none()` this is behaviorally identical to
+    /// `run` (same event order, same audit digest, never errs).
+    /// Draining the queue exactly on the event budget's last event is
+    /// normal termination, not a stall; the engine's own
+    /// [`Engine::with_max_events`] guard still applies and still
+    /// truncates silently.
+    pub fn run_guarded<F>(
+        &mut self,
+        guard: Liveness,
+        mut handler: F,
+    ) -> Result<SimTime, StallReport>
+    where
+        F: FnMut(SimTime, E, &mut Scheduler<'_, E>),
+    {
+        let mut stagnant: u64 = 0;
+        while let Some((time, event)) = self.queue.pop() {
+            if time > self.horizon {
+                break;
+            }
+            debug_assert!(time >= self.now, "event queue violated time order");
+            if time > self.now {
+                stagnant = 0;
+            }
+            stagnant += 1;
+            if let Some(max) = guard.max_stagnant_events {
+                if stagnant > max {
+                    return Err(StallReport {
+                        cause: StallCause::TimeFrozen,
+                        now: time,
+                        processed: self.processed,
+                        // The popped event was never delivered; count it
+                        // back into the pending work.
+                        pending: self.queue.len() + 1,
+                        stagnant_events: stagnant,
+                    });
+                }
+            }
+            self.now = time;
+            self.processed += 1;
+            #[cfg(any(debug_assertions, feature = "audit"))]
+            self.auditor.record_event(time);
+            let mut sched = Scheduler {
+                queue: &mut self.queue,
+                now: time,
+            };
+            handler(time, event, &mut sched);
+            if let Some(max) = guard.max_events {
+                if self.processed >= max && !self.queue.is_empty() {
+                    return Err(StallReport {
+                        cause: StallCause::EventBudget,
+                        now: self.now,
+                        processed: self.processed,
+                        pending: self.queue.len(),
+                        stagnant_events: 0,
+                    });
+                }
+            }
+            if let Some(max) = self.max_events {
+                if self.processed >= max {
+                    break;
+                }
+            }
+        }
+        Ok(self.now)
+    }
+
     /// Runs a single event if one is pending; returns whether it did.
     pub fn step<F>(&mut self, mut handler: F) -> bool
     where
@@ -416,6 +565,103 @@ mod tests {
         }
         assert_eq!(q.pop(), Some((SimTime::from_ns(5), 1)));
         assert_eq!(q.pop(), Some((SimTime::from_ns(9), 2)));
+    }
+
+    #[test]
+    fn run_guarded_without_limits_matches_run() {
+        let drive = |guarded: bool| {
+            let mut engine: Engine<u32> = Engine::new();
+            engine.schedule(SimTime::ZERO, 0);
+            let mut seen = Vec::new();
+            let handler = |now: SimTime, e: u32, sched: &mut Scheduler<'_, u32>| {
+                seen.push(e);
+                if e < 5 {
+                    sched.schedule(now + SimTime::from_ns(3), e + 1);
+                }
+            };
+            let end = if guarded {
+                engine.run_guarded(Liveness::none(), handler).unwrap()
+            } else {
+                engine.run(handler)
+            };
+            (end, engine.processed(), engine.audit_digest(), seen)
+        };
+        assert_eq!(drive(false), drive(true));
+    }
+
+    #[test]
+    fn event_budget_stall_is_reported_not_hung() {
+        let mut engine: Engine<()> = Engine::new();
+        engine.schedule(SimTime::ZERO, ());
+        let guard = Liveness {
+            max_events: Some(100),
+            max_stagnant_events: None,
+        };
+        // Self-rescheduling event: would run forever under `run`.
+        let err = engine
+            .run_guarded(guard, |now, (), sched| {
+                sched.schedule(now + SimTime::from_ns(1), ());
+            })
+            .unwrap_err();
+        assert_eq!(err.cause, StallCause::EventBudget);
+        assert_eq!(err.processed, 100);
+        assert_eq!(err.pending, 1);
+        assert!(err.to_string().contains("event budget"), "{err}");
+    }
+
+    #[test]
+    fn finishing_exactly_on_budget_is_not_a_stall() {
+        let mut engine: Engine<u8> = Engine::new();
+        for i in 0..4 {
+            engine.schedule(SimTime::from_ns(i), 0);
+        }
+        let guard = Liveness {
+            max_events: Some(4),
+            max_stagnant_events: None,
+        };
+        let end = engine.run_guarded(guard, |_, _, _| ()).unwrap();
+        assert_eq!(end, SimTime::from_ns(3));
+        assert_eq!(engine.processed(), 4);
+    }
+
+    #[test]
+    fn zero_delay_livelock_reports_time_frozen() {
+        let mut engine: Engine<u8> = Engine::new();
+        engine.schedule(SimTime::from_ns(7), 0);
+        let guard = Liveness {
+            max_events: None,
+            max_stagnant_events: Some(50),
+        };
+        // schedule_now loop: time never advances.
+        let err = engine
+            .run_guarded(guard, |_, _, sched| sched.schedule_now(0))
+            .unwrap_err();
+        assert_eq!(err.cause, StallCause::TimeFrozen);
+        assert_eq!(err.now, SimTime::from_ns(7));
+        assert_eq!(err.stagnant_events, 51);
+        assert!(err.pending >= 1);
+        assert!(err.to_string().contains("time frozen"), "{err}");
+    }
+
+    #[test]
+    fn stagnant_counter_resets_when_time_advances() {
+        let mut engine: Engine<u8> = Engine::new();
+        engine.schedule(SimTime::ZERO, 0);
+        let guard = Liveness {
+            max_events: None,
+            max_stagnant_events: Some(3),
+        };
+        // Three events per instant, then the clock moves: never stalls.
+        let end = engine
+            .run_guarded(guard, |now, e, sched| {
+                if e < 2 {
+                    sched.schedule_now(e + 1);
+                } else if now < SimTime::from_ns(5) {
+                    sched.schedule(now + SimTime::from_ns(1), 0);
+                }
+            })
+            .unwrap();
+        assert_eq!(end, SimTime::from_ns(5));
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod time;
 pub mod trace;
 
 pub use audit::Auditor;
-pub use engine::{Engine, EventQueue, Scheduler};
+pub use engine::{Engine, EventQueue, Liveness, Scheduler, StallCause, StallReport};
 pub use faults::{LossModel, LossProcess};
 pub use rng::SplitMix64;
 pub use stats::{Counter, Histogram, RateMeter, Reservoir, TimeSeries};

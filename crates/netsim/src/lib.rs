@@ -35,4 +35,4 @@ pub mod topology;
 
 pub use link::{Link, LinkParams};
 pub use metrics::TopologyMetrics;
-pub use topology::{Element, FailureSet, LinkId, Network, Path, SwitchId, Topology};
+pub use topology::{Element, FailureSet, LinkId, Network, Path, RouteError, SwitchId, Topology};

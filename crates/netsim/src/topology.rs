@@ -282,6 +282,77 @@ impl FailureSet {
     }
 }
 
+/// A typed routing failure from the fallible [`Network`] constructors and
+/// path lookups (`try_new`, `try_path`, `try_path_with_choice`).
+///
+/// The panicking wrappers ([`Network::new`], [`Network::path`]) abort with
+/// this error's `Display` text; callers that must survive arbitrary
+/// generated topologies (the chaos harness, `try_simulate`) use the `try_`
+/// variants and route the error upward instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// The topology has fewer than 2 nodes — nothing to route between.
+    DegenerateTopology {
+        /// Node count of the offending topology.
+        nodes: u32,
+    },
+    /// A path endpoint does not exist in the topology.
+    NodeOutOfRange {
+        /// The requested node.
+        node: u32,
+        /// Number of nodes the topology actually has.
+        nodes: u32,
+    },
+    /// A route from a node to itself was requested; self-traffic never
+    /// enters the network.
+    SelfRoute {
+        /// The node routed to itself.
+        node: u32,
+    },
+    /// A route references a link the topology does not have — a
+    /// malformed or internally inconsistent topology description.
+    MissingLink {
+        /// Route source node.
+        src: u32,
+        /// Route destination node.
+        dst: u32,
+        /// ECMP route choice being materialized.
+        choice: u32,
+        /// The hop's upstream element.
+        from: Element,
+        /// The hop's downstream element.
+        to: Element,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            RouteError::DegenerateTopology { nodes } => {
+                write!(f, "topology must have at least 2 nodes, got {nodes}")
+            }
+            RouteError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range: topology has {nodes} nodes")
+            }
+            RouteError::SelfRoute { node } => {
+                write!(f, "no path from a node to itself (node {node})")
+            }
+            RouteError::MissingLink {
+                src,
+                dst,
+                choice,
+                from,
+                to,
+            } => write!(
+                f,
+                "no link {from:?} -> {to:?} on route {src}->{dst} (choice {choice})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
 /// A constructed network: topology + link registry + all-pairs paths.
 ///
 /// See the crate-level example for usage.
@@ -302,8 +373,19 @@ impl Network {
     ///
     /// Panics if the topology is degenerate (zero of any extent).
     pub fn new(topo: Topology) -> Self {
+        // simaudit:allow(no-lib-panic): documented panicking wrapper over try_new for static topologies
+        Self::try_new(topo).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the network and precomputes every route, returning a typed
+    /// [`RouteError`] instead of panicking when the topology is degenerate
+    /// or internally unroutable. Generated (chaos) topologies go through
+    /// here so malformed descriptions are *rejected*, not aborted on.
+    pub fn try_new(topo: Topology) -> Result<Self, RouteError> {
         let nodes = topo.nodes();
-        assert!(nodes >= 2, "topology must have at least 2 nodes");
+        if nodes < 2 {
+            return Err(RouteError::DegenerateTopology { nodes });
+        }
         let mut net = Network {
             topo,
             nodes,
@@ -313,8 +395,8 @@ impl Network {
             paths: Vec::new(),
         };
         net.build_links();
-        net.build_paths();
-        net
+        net.build_paths()?;
+        Ok(net)
     }
 
     /// The topology this network instantiates.
@@ -357,9 +439,30 @@ impl Network {
     /// Panics if `src == dst` (no network traversal) or either is out of
     /// range.
     pub fn path(&self, src: u32, dst: u32) -> &Path {
-        assert!(src < self.nodes && dst < self.nodes, "node out of range");
-        assert_ne!(src, dst, "no path from a node to itself");
-        &self.paths[(src * self.nodes + dst) as usize]
+        // simaudit:allow(no-lib-panic): documented panicking wrapper over try_path for the hot path
+        self.try_path(src, dst).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The route from `src` to `dst`, or a typed [`RouteError`] when the
+    /// endpoints are invalid (out of range, or `src == dst`).
+    pub fn try_path(&self, src: u32, dst: u32) -> Result<&Path, RouteError> {
+        self.check_endpoints(src, dst)?;
+        Ok(&self.paths[(src * self.nodes + dst) as usize])
+    }
+
+    fn check_endpoints(&self, src: u32, dst: u32) -> Result<(), RouteError> {
+        for node in [src, dst] {
+            if node >= self.nodes {
+                return Err(RouteError::NodeOutOfRange {
+                    node,
+                    nodes: self.nodes,
+                });
+            }
+        }
+        if src == dst {
+            return Err(RouteError::SelfRoute { node: src });
+        }
+        Ok(())
     }
 
     /// Looks up the directed link between two adjacent elements, if the
@@ -371,22 +474,42 @@ impl Network {
     /// The `choice`-th deterministic route from `src` to `dst` (ECMP-style:
     /// choice 0 is the primary route returned by [`Network::path`], higher
     /// choices rotate through the topology's alternatives — see
-    /// [`Topology::route_choices`]). Returns `None` only if the requested
-    /// route would traverse a link the topology does not have, which cannot
-    /// happen for `choice < route_choices()` on a well-formed network.
+    /// [`Topology::route_choices`]). Returns `None` if the endpoints are
+    /// invalid or the requested route would traverse a link the topology
+    /// does not have — the latter cannot happen for
+    /// `choice < route_choices()` on a well-formed network.
     pub fn path_with_choice(&self, src: u32, dst: u32, choice: u32) -> Option<Path> {
-        assert!(src < self.nodes && dst < self.nodes, "node out of range");
-        assert_ne!(src, dst, "no path from a node to itself");
+        self.try_path_with_choice(src, dst, choice).ok()
+    }
+
+    /// The `choice`-th deterministic route, with the failure reason
+    /// preserved as a typed [`RouteError`] (invalid endpoints or a hop
+    /// over a link the topology lacks).
+    pub fn try_path_with_choice(
+        &self,
+        src: u32,
+        dst: u32,
+        choice: u32,
+    ) -> Result<Path, RouteError> {
+        self.check_endpoints(src, dst)?;
         let elems = self.route_elems(src, dst, choice);
         let mut hops = Vec::with_capacity(elems.len() - 1);
         for w in 0..elems.len() - 1 {
-            let link = self.find_link(elems[w], elems[w + 1])?;
+            let link = self
+                .find_link(elems[w], elems[w + 1])
+                .ok_or(RouteError::MissingLink {
+                    src,
+                    dst,
+                    choice,
+                    from: elems[w],
+                    to: elems[w + 1],
+                })?;
             hops.push(Hop {
                 link,
                 to: elems[w + 1],
             });
         }
-        Some(Path { hops })
+        Ok(Path { hops })
     }
 
     /// Whether every hop of `path` survives `failures`: no dead link, and
@@ -578,7 +701,7 @@ impl Network {
         }
     }
 
-    fn build_paths(&mut self) {
+    fn build_paths(&mut self) -> Result<(), RouteError> {
         let nodes = self.nodes;
         let mut paths = Vec::with_capacity((nodes * nodes) as usize);
         for src in 0..nodes {
@@ -587,32 +710,14 @@ impl Network {
                     paths.push(Path::default());
                     continue;
                 }
-                paths.push(self.compute_path(src, dst));
+                // All links should already exist from `build_links`; a
+                // hole is an unroutable topology description, surfaced
+                // as a typed error at construction time.
+                paths.push(self.try_path_with_choice(src, dst, 0)?);
             }
         }
         self.paths = paths;
-    }
-
-    fn compute_path(&self, src: u32, dst: u32) -> Path {
-        // All links already exist from `build_links`; a hole here is a
-        // construction bug, so fail loudly at build time.
-        let elems = self.route_elems(src, dst, 0);
-        let mut hops = Vec::with_capacity(elems.len() - 1);
-        for w in 0..elems.len() - 1 {
-            let link = match self.find_link(elems[w], elems[w + 1]) {
-                Some(l) => l,
-                None => panic!(
-                    "topology bug: no link {:?} -> {:?} on route {src}->{dst}",
-                    elems[w],
-                    elems[w + 1]
-                ),
-            };
-            hops.push(Hop {
-                link,
-                to: elems[w + 1],
-            });
-        }
-        Path { hops }
+        Ok(())
     }
 }
 

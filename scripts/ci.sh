@@ -15,9 +15,11 @@
 # docs/FAULTS.md), the structured-tracing suites with the `trace` feature
 # on (see docs/OBSERVABILITY.md), smoke runs of the ext_fault_sweep and
 # ext_trace extension experiments, the serial-vs-parallel sweep
-# equivalence suite, and a timed `repro_all --parallel` smoke via
+# equivalence suite, a timed `repro_all --parallel` smoke via
 # `bench_sweep`, which emits BENCH_sweep.json with serial vs parallel
-# wall-clock (see docs/ARCHITECTURE.md).
+# wall-clock (see docs/ARCHITECTURE.md), and a 50-seed chaoscheck smoke
+# plus shrinker demo emitting the CHAOS_report.json artifact (see
+# docs/FAULTS.md §Chaos testing).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,6 +65,14 @@ if [[ "$fast" -eq 0 ]]; then
     # Timed serial-vs-parallel repro smoke: asserts byte-equality and
     # records both wall-clocks in BENCH_sweep.json.
     run cargo run --release -q -p netsparse-bench --bin bench_sweep -- --scale 0.1
+    # Chaos smoke: 50 seeded scenarios through the oracle suite with the
+    # runtime auditor on. Exits non-zero on any oracle violation or
+    # liveness stall; CHAOS_report.json is archived like lint_report.json.
+    # The shrink demo proves the broken fixture still reduces to a
+    # minimal replayable repro (see docs/FAULTS.md §Chaos testing).
+    run cargo run --release -q -p netsparse-bench --features audit --bin chaos -- \
+        --seeds 50 --out CHAOS_report.json
+    run cargo run --release -q -p netsparse-bench --features audit --bin chaos -- --demo-shrink
 fi
 
 echo "ci: all checks passed"

@@ -196,6 +196,55 @@ fn remote_tor_death_escalates_to_degraded_delivery() {
     assert!(fr.degraded_prs > 0, "degraded nodes emit singleton PRs");
 }
 
+/// Total network partition: rack 1's ToR dies permanently, severing
+/// every path to its 8 nodes. The run must *terminate* (no hang, no
+/// panic): affected commands burn their extended retry budget, are
+/// abandoned with the abandonment on the record, and the conservation
+/// ledger still balances exactly.
+#[test]
+fn total_partition_terminates_with_recorded_abandonment() {
+    let wl = workload(16);
+    let mut cfg = ClusterConfig::mini(topo(), 16);
+    cfg.faults = FaultConfig::builder()
+        .fail_switch_at(1, 1_000) // rack 1's ToR, never repaired
+        .watchdog_ns(4_000)
+        .max_retries(2)
+        .backoff(2.0, 0.1)
+        .seed(7)
+        .build()
+        .expect("partition config is valid");
+    // Liveness-guarded entry point: a hang would come back as a typed
+    // stall, not a wedged test run.
+    cfg.limits = SimLimits {
+        max_events: Some(50_000_000),
+        max_stagnant_events: Some(1_000_000),
+    };
+    let report = try_simulate(&cfg, &wl).expect("partitioned run must terminate, not stall");
+    assert!(
+        !report.functional_check_passed,
+        "a severed rack cannot deliver"
+    );
+    let fr = report
+        .faults
+        .as_ref()
+        .expect("faulted run populates FaultReport");
+    assert!(fr.dropped_dead > 0, "the dead ToR must blackhole packets");
+    assert!(
+        fr.abandoned_commands > 0,
+        "unreachable destinations must be abandoned, not spun on"
+    );
+    assert!(fr.abandoned_prs > 0, "abandoned commands abandon their PRs");
+    // Conservation still balances exactly: every issued PR resolved,
+    // abandoned, or orphaned by a drop.
+    let issued: u64 = report.nodes.iter().map(|n| n.issued).sum();
+    let responses: u64 = report.nodes.iter().map(|n| n.responses).sum();
+    assert_eq!(
+        issued,
+        (responses - fr.stale_responses) + fr.abandoned_prs + fr.orphaned_prs,
+        "PR conservation must balance at termination"
+    );
+}
+
 #[test]
 fn straggler_slows_the_cluster_but_changes_nothing_else() {
     let wl = workload(13);

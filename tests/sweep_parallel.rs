@@ -80,6 +80,42 @@ fn simreport_sequences_match_across_1_2_and_8_workers() {
     }
 }
 
+/// A panicking point must fail the sweep *identifiably* — never hang the
+/// worker pool, never abort the process, and never mis-attribute the
+/// failure — at every worker count, even when other points are still
+/// mid-flight when the panic lands.
+#[test]
+fn panicking_point_fails_the_sweep_without_hanging() {
+    const POINTS: usize = 12;
+    const BAD: usize = 7;
+    let point = |i: usize| {
+        let r = run_point(i % 3);
+        assert!(i != BAD, "chaos point {BAD} exploded");
+        r
+    };
+    for workers in [1usize, 2, 8] {
+        let err = SweepRunner::new(workers)
+            .try_run(POINTS, point)
+            .expect_err("the exploding point must fail the sweep");
+        assert_eq!(err.index, BAD, "failure attributed to the wrong point");
+        assert!(
+            err.message.contains("exploded"),
+            "panic message lost: {}",
+            err.message
+        );
+    }
+    // The panicking `run` path re-raises with the original payload, so
+    // sweep assertions read the same serial and parallel.
+    let caught = std::panic::catch_unwind(|| SweepRunner::new(4).run(POINTS, point));
+    let payload = caught.expect_err("run() must propagate the panic");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("exploded"), "payload: {msg}");
+}
+
 #[test]
 fn rendered_tables_are_byte_identical_across_worker_counts() {
     let serial = BenchOpts {

@@ -1,0 +1,33 @@
+//! Fixture: `no-lib-panic` must flag aborting macros in library code.
+
+pub fn explode(x: u32) {
+    panic!("boom: {x}");
+}
+
+pub fn unfinished() {
+    todo!();
+}
+
+pub fn not_done() {
+    unimplemented!();
+}
+
+pub fn impossible(x: u32) -> u32 {
+    match x {
+        0 => 0,
+        _ => unreachable!("flagged without a marker"),
+    }
+}
+
+pub fn justified() -> u32 {
+    // simaudit:allow(no-lib-panic): documented panicking wrapper over a fallible api
+    panic!("caller asked for the panicking flavor")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        panic!("test panics are the failure path");
+    }
+}

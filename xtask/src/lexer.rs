@@ -462,6 +462,14 @@ impl LexedFile {
 
         let mut cur: u32 = 0;
         let mut depth: u32 = 0;
+        // Generic-angle-bracket nesting (`Result<SimReport, SimError>`):
+        // commas inside `<...>` sit at the same brace/paren depth as the
+        // item header, so the Pending close below must ignore them or a
+        // cfg region ends mid-signature. `<` counts as a generic open
+        // only after an identifier, `>`, or `:` (path/type position);
+        // braces and `;` reset the counter, so an unpaired comparison
+        // `<` in an expression cannot leak far.
+        let mut angle: u32 = 0;
         let mut regions: Vec<Region> = Vec::new();
         let mut i = 0usize;
         while i < self.tokens.len() {
@@ -510,10 +518,12 @@ impl LexedFile {
                         }
                     }
                     depth += 1;
+                    angle = 0;
                 }
                 Tok::Punct(b'(') | Tok::Punct(b'[') => depth += 1,
                 Tok::Punct(b'}') => {
                     depth = depth.saturating_sub(1);
+                    angle = 0;
                     while let Some(r) = regions.last() {
                         if r.close == Close::Brace && r.depth == depth {
                             cur = r.prev;
@@ -524,7 +534,27 @@ impl LexedFile {
                     }
                 }
                 Tok::Punct(b')') | Tok::Punct(b']') => depth = depth.saturating_sub(1),
-                Tok::Punct(b';') | Tok::Punct(b',') => {
+                Tok::Punct(b'<')
+                    if i > 0
+                        && (matches!(self.tokens[i - 1].kind, Tok::Ident)
+                            || self.is_punct(i - 1, b'>')
+                            || self.is_punct(i - 1, b':')) =>
+                {
+                    angle += 1;
+                }
+                Tok::Punct(b'>') => angle = angle.saturating_sub(1),
+                Tok::Punct(b';') => {
+                    angle = 0;
+                    while let Some(r) = regions.last() {
+                        if r.close == Close::Pending && r.depth == depth {
+                            cur = r.prev;
+                            regions.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                Tok::Punct(b',') if angle == 0 => {
                     while let Some(r) = regions.last() {
                         if r.close == Close::Pending && r.depth == depth {
                             cur = r.prev;
@@ -692,6 +722,31 @@ pub fn emit() {
             None,
             "statement-level cfg must end at the `;`"
         );
+    }
+
+    #[test]
+    fn cfg_scope_survives_commas_in_generic_return_types() {
+        // The comma in `Result<SimReport, SimError>` sits at the item
+        // header's brace depth; it must not end the cfg region before
+        // the function body binds it.
+        let src = r#"
+#[cfg(feature = "trace")]
+pub fn traced(
+    a: u32,
+    b: u32,
+) -> Result<Vec<u32>, String> {
+    gated_body();
+}
+pub fn plain() { free_body(); }
+"#;
+        let lf = LexedFile::lex(src);
+        let at = |name: &str| {
+            (0..lf.tokens.len())
+                .find(|&i| lf.is_ident(i, name))
+                .unwrap()
+        };
+        assert_eq!(lf.gated_on(at("gated_body"), "trace"), Some(true));
+        assert_eq!(lf.gated_on(at("free_body"), "trace"), None);
     }
 
     #[test]

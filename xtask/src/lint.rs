@@ -463,6 +463,49 @@ mod tests {
         assert_eq!(rules_at(&diags), vec![("allow-hygiene", 10)], "{diags:#?}");
     }
 
+    // ---------------- no-lib-panic ----------------
+
+    #[test]
+    fn fixture_no_lib_panic_fires() {
+        let src = include_str!("../fixtures/no_lib_panic.rs");
+        let diags = check_source("crates/core/src/fixture.rs", src);
+        assert_eq!(
+            rules_at(&diags),
+            vec![
+                ("no-lib-panic", 4),
+                ("no-lib-panic", 8),
+                ("no-lib-panic", 12),
+                ("no-lib-panic", 18),
+            ],
+            "{diags:#?}"
+        );
+    }
+
+    #[test]
+    fn no_lib_panic_exempts_bins_and_tests() {
+        let src = include_str!("../fixtures/no_lib_panic.rs");
+        // Binaries own their own failure policy — only the now-stale
+        // marker reports.
+        let diags = check_source("crates/bench/src/bin/fixture.rs", src);
+        assert_eq!(rules_at(&diags), vec![("allow-hygiene", 23)], "{diags:#?}");
+        // The `#[cfg(test)]` panic inside the fixture never fires in
+        // either scope (covered by fixture_no_lib_panic_fires above for
+        // the library case).
+    }
+
+    #[test]
+    fn no_lib_panic_marker_requires_justification() {
+        let src =
+            "pub fn f() {\n    // simaudit:allow(no-lib-panic): x\n    panic!(\"boom\");\n}\n";
+        let diags = check_source("crates/core/src/fixture.rs", src);
+        // A bare/underspecified justification is an allow-hygiene error,
+        // and the finding itself still reports.
+        assert!(
+            diags.iter().any(|d| d.rule == "allow-hygiene"),
+            "{diags:#?}"
+        );
+    }
+
     // ---------------- feature-gate symmetry ----------------
 
     #[test]

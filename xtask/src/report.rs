@@ -18,6 +18,7 @@ pub const RULES: &[&str] = &[
     "no-unwrap-in-hot-path",
     "no-hot-alloc",
     "no-debug-print",
+    "no-lib-panic",
     "port-wiring",
     "feature-symmetry",
     "feature-forwarding",
@@ -35,6 +36,7 @@ pub const SUPPRESSIBLE: &[&str] = &[
     "no-unwrap-in-hot-path",
     "no-hot-alloc",
     "no-debug-print",
+    "no-lib-panic",
     "feature-symmetry",
 ];
 

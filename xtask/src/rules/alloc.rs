@@ -20,6 +20,7 @@ use crate::lexer::LexedFile;
 /// stable across the event-path crates.
 const COLD_FNS: &[&str] = &[
     "new",
+    "try_new",
     "default",
     "with_capacity",
     "build_nodes",

@@ -9,6 +9,7 @@
 pub mod alloc;
 pub mod debug_print;
 pub mod determinism;
+pub mod panics;
 
 use crate::lexer::{LexedFile, Tok};
 use crate::report::Diagnostic;
@@ -21,6 +22,7 @@ pub fn scan(rel: &str, lf: &LexedFile) -> Vec<Diagnostic> {
     determinism::scan(rel, lf, &mut sink);
     alloc::scan(rel, lf, &mut sink);
     debug_print::scan(rel, lf, &mut sink);
+    panics::scan(rel, lf, &mut sink);
     sink.diags
 }
 
