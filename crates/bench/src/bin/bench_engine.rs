@@ -1,0 +1,149 @@
+//! Engine-throughput benchmark: events/sec and wall-clock per run on the
+//! canonical simulation point, written to `BENCH_engine.json` so the
+//! per-point speed trajectory is visible across commits.
+//!
+//! Two backends are timed: the production calendar-queue scheduler
+//! (`simulate`) and the reference binary-heap queue
+//! (`try_simulate_reference`). Each backend gets `trials` timed windows
+//! and reports its **best** window — per-point simulation time is what
+//! the sweep harness pays, and the best window is the least
+//! scheduler-noise-contaminated estimate of it. The two backends are also
+//! checked against each other for report equality (the full equivalence
+//! oracle lives in `tests/engine_equivalence.rs`).
+//!
+//! ```text
+//! bench_engine [--quick] [--check-against <json>] [--out <json>]
+//! ```
+//!
+//! `--check-against` reads a previously committed `BENCH_engine.json`,
+//! re-measures, and exits non-zero if fresh calendar events/sec fall more
+//! than 20% below the committed figure — the CI regression gate. In this
+//! mode results go to `BENCH_engine.ci.json` (kept as an artifact) so the
+//! committed baseline is never clobbered by a gate run.
+use std::time::Instant; // simaudit:allow(no-wall-clock): wall-clock benchmark
+
+use netsparse::{simulate, try_simulate_reference, ClusterConfig, SimReport};
+use netsparse_netsim::Topology;
+use netsparse_sparse::suite::SuiteConfig;
+use netsparse_sparse::{CommWorkload, SuiteMatrix};
+
+/// Pre-PR events/sec on this point, measured on the same runner with the
+/// binary-heap engine and BTree hot state (commit 82e30d8). The committed
+/// JSON reports the current speedup against this figure.
+const BASELINE_EPS: f64 = 388_217.0;
+
+/// The canonical point: the same (topology, workload, config) pinned by
+/// `tests/trace_golden.rs` and the determinism suite.
+fn canonical_point(seed: u64) -> (ClusterConfig, CommWorkload) {
+    let topo = Topology::LeafSpine {
+        racks: 2,
+        rack_size: 4,
+        spines: 2,
+    };
+    let wl = SuiteConfig {
+        matrix: SuiteMatrix::Uk,
+        nodes: 8,
+        rack_size: 4,
+        scale: 0.1,
+        seed,
+    }
+    .generate();
+    (ClusterConfig::mini(topo, 16), wl)
+}
+
+/// Repeats `run` until `window_s` elapses and returns events/sec for the
+/// window; `trials` windows, best one wins.
+fn best_eps(trials: u32, window_s: f64, run: impl Fn() -> SimReport) -> (f64, u64) {
+    let mut best = 0.0f64;
+    let mut events_per_run = 0u64;
+    for _ in 0..trials {
+        let mut total = 0u64;
+        let t = Instant::now(); // simaudit:allow(no-wall-clock): wall-clock benchmark
+        while t.elapsed().as_secs_f64() < window_s {
+            let r = run();
+            events_per_run = r.events;
+            total += r.events;
+        }
+        let eps = total as f64 / t.elapsed().as_secs_f64();
+        best = best.max(eps);
+    }
+    (best, events_per_run)
+}
+
+/// Pulls `"key": <number>` out of a hand-rolled JSON report.
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let rest = &json[json.find(&pat)? + pat.len()..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let mut quick = false;
+    let mut check_against: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--check-against" => {
+                check_against = Some(args.next().expect("--check-against needs a file"));
+            }
+            "--out" => out = Some(args.next().expect("--out needs a file")),
+            other => panic!("unknown flag {other}; usage: bench_engine [--quick] [--check-against json] [--out json]"),
+        }
+    }
+    let (trials, window_s) = if quick { (3u32, 0.25) } else { (5u32, 0.6) };
+    let out = out.unwrap_or_else(|| {
+        if check_against.is_some() {
+            "BENCH_engine.ci.json".to_string()
+        } else {
+            "BENCH_engine.json".to_string()
+        }
+    });
+
+    let (cfg, wl) = canonical_point(7);
+    // Warm up both paths and pin the cheap cross-backend sanity check:
+    // identical reports, identical audit digests (when compiled in).
+    let cal = simulate(&cfg, &wl);
+    let heap = try_simulate_reference(&cfg, &wl).expect("reference run failed");
+    assert_eq!(cal.events, heap.events, "backend event counts diverged");
+    assert_eq!(cal.comm_time, heap.comm_time, "backend comm_time diverged");
+    assert_eq!(
+        cal.audit_digest, heap.audit_digest,
+        "backend event digests diverged"
+    );
+
+    let (cal_eps, events_per_run) = best_eps(trials, window_s, || simulate(&cfg, &wl));
+    let (heap_eps, _) = best_eps(trials, window_s, || {
+        try_simulate_reference(&cfg, &wl).expect("reference run failed")
+    });
+
+    let wall_us_per_run = events_per_run as f64 / cal_eps * 1e6;
+    let json = format!(
+        "{{\n  \"bench\": \"engine_throughput\",\n  \"point\": \"leafspine 2x4 + 2 spines, uk @ scale 0.1, seed 7, K=16\",\n  \"events_per_run\": {events_per_run},\n  \"trials\": {trials},\n  \"trial_window_s\": {window_s},\n  \"events_per_sec_calendar\": {cal_eps:.0},\n  \"events_per_sec_heap\": {heap_eps:.0},\n  \"wall_us_per_run\": {wall_us_per_run:.1},\n  \"calendar_vs_heap\": {:.2},\n  \"baseline_events_per_sec\": {BASELINE_EPS:.0},\n  \"speedup_vs_baseline\": {:.2}\n}}\n",
+        cal_eps / heap_eps,
+        cal_eps / BASELINE_EPS,
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("{json}");
+
+    if let Some(path) = check_against {
+        let committed =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let committed_eps = json_number(&committed, "events_per_sec_calendar")
+            .unwrap_or_else(|| panic!("{path} has no events_per_sec_calendar"));
+        let floor = committed_eps * 0.8;
+        eprintln!(
+            "[regression gate: fresh {cal_eps:.0} events/s vs committed {committed_eps:.0}, \
+             floor {floor:.0}]"
+        );
+        assert!(
+            cal_eps >= floor,
+            "engine throughput regressed >20%: {cal_eps:.0} events/s vs committed {committed_eps:.0}"
+        );
+    }
+}

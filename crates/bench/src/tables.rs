@@ -870,6 +870,9 @@ pub fn ext_faults(o: &BenchOpts) -> String {
     // surviving: recovery viability scales with command *size*. The sweep
     // therefore uses 512-idx commands (~15 packets each); the default
     // 2048-idx commands approach livelock already at 2% per-hop loss.
+    // Even at 512, the heaviest matrices can exhaust the §7.1 retry
+    // ladder at 2% — those runs end in the ladder's final *abandon*
+    // escape, which the table reports honestly instead of asserting away.
     let rates = [0.0f64, 0.001, 0.005, 0.02];
     let mut out = String::new();
     let _ = writeln!(
@@ -897,24 +900,34 @@ pub fn ext_faults(o: &BenchOpts) -> String {
             report.comm_time_s(),
             retries,
             report.functional_check_passed,
+            report.faults.as_ref().map_or(0, |f| f.abandoned_commands),
         )
     });
     for (e, row) in exps.iter().zip(&cells) {
         let mut base = 0.0;
         let _ = write!(out, "{:<8}", e.matrix.name());
-        for (r, &(t, retries, passed)) in rates.iter().zip(row) {
-            assert!(passed, "recovery failed at {r}");
+        for (r, &(t, retries, passed, abandoned)) in rates.iter().zip(row) {
             if *r == 0.0 {
+                // A lossless run failing exactly-once delivery is a model
+                // bug, not a recovery outcome.
+                assert!(passed, "lossless run failed the delivery check");
                 base = t;
             }
-            let _ = write!(out, " {:>16}", format!("{:.2}x | {}", t / base, retries));
+            let cell = if passed {
+                format!("{:.2}x | {}", t / base, retries)
+            } else {
+                format!("abandoned {abandoned} | {retries}")
+            };
+            let _ = write!(out, " {:>16}", cell);
         }
         let _ = writeln!(out);
     }
     let _ = writeln!(
         out,
-        "(every cell passed the exactly-once delivery check: the watchdog
- re-fetches whatever the lost packets carried)"
+        "(numeric cells passed the exactly-once delivery check: the watchdog
+ re-fetched whatever the lost packets carried. \"abandoned N\" cells hit
+ the §7.1 ladder's final escape on N commands — whole-command retry
+ stops converging as loss approaches a packet-per-command)"
     );
     out
 }

@@ -48,7 +48,7 @@ pub mod sim;
 
 pub use config::{ClusterConfig, Mechanisms, SimLimits};
 pub use metrics::SimReport;
-pub use sim::{simulate, try_simulate, SimError};
+pub use sim::{simulate, try_simulate, try_simulate_reference, SimError};
 #[cfg(feature = "trace")]
 pub use sim::{simulate_traced, try_simulate_traced};
 

@@ -440,7 +440,22 @@ pub fn simulate(cfg: &ClusterConfig, wl: &CommWorkload) -> SimReport {
 pub fn try_simulate(cfg: &ClusterConfig, wl: &CommWorkload) -> Result<SimReport, SimError> {
     cfg.validate()?;
     let world = World::try_new(cfg, wl)?;
-    drive(world)
+    drive(world, Engine::new())
+}
+
+/// Runs exactly like [`try_simulate`] but on the engine's *reference*
+/// binary-heap event queue instead of the default calendar queue. The two
+/// paths must produce bit-identical reports and audit digests — this is
+/// the production entry point of the equivalence oracle
+/// (`tests/engine_equivalence.rs`); it is not faster or slower in any way
+/// that matters to callers.
+pub fn try_simulate_reference(
+    cfg: &ClusterConfig,
+    wl: &CommWorkload,
+) -> Result<SimReport, SimError> {
+    cfg.validate()?;
+    let world = World::try_new(cfg, wl)?;
+    drive(world, Engine::new().with_reference_queue())
 }
 
 /// Runs exactly like [`simulate`] with a structured tracer attached; the
@@ -468,7 +483,7 @@ pub fn try_simulate_traced(
     let mut world = World::try_new(cfg, wl)?;
     let tracer = Tracer::new(tcfg);
     world.attach_tracer(&tracer);
-    drive(world)
+    drive(world, Engine::new())
 }
 
 /// The single event-loop body behind [`simulate`] and `simulate_traced`:
@@ -477,8 +492,7 @@ pub fn try_simulate_traced(
 /// `cfg.limits` unarmed (every committed experiment) this runs the exact
 /// unguarded engine loop; armed limits route through
 /// [`Engine::run_guarded`] and surface stalls as [`SimError::Stalled`].
-fn drive(mut world: World<'_>) -> Result<SimReport, SimError> {
-    let mut engine: Engine<Event> = Engine::new();
+fn drive(mut world: World<'_>, mut engine: Engine<Event>) -> Result<SimReport, SimError> {
     for (t, action) in std::mem::take(&mut world.pending_transitions) {
         engine.schedule(t, Event::FaultTransition { action });
     }

@@ -2,8 +2,8 @@
 //!
 //! [`Fabric`] is the shared transport substrate underneath the node and
 //! rack components. Components never touch links or forwarding tables
-//! directly — they hand packets to [`Fabric::send_from_nic`] /
-//! [`Fabric::send_from_switch`], and the fabric serializes them onto
+//! directly — they hand packet batches to [`Fabric::send_batch_from_nic`]
+//! / [`Fabric::send_from_switch`], and the fabric serializes them onto
 //! links, consults the forwarding tables, and schedules the arrival
 //! events. Fault transitions (scheduled failures and repairs) are fabric
 //! events: they mutate the [`FailureSet`] and reconverge every route over
@@ -155,26 +155,95 @@ impl Fabric {
         *self.net.topology()
     }
 
-    /// Serializes `pkt` onto `node`'s uplink and schedules its arrival at
-    /// the node's ToR.
-    pub(crate) fn send_from_nic(
+    /// Serializes a batch of packets onto `node`'s uplink and schedules
+    /// their arrivals at the node's ToR as one scheduler batch (a single
+    /// queue operation per flush instead of one heap push per packet).
+    /// Drains `batch` so the caller can reuse its allocation.
+    pub(crate) fn send_batch_from_nic(
         &mut self,
         node: u32,
-        at: SimTime,
-        pkt: ConcatPacket,
+        batch: &mut Vec<(SimTime, ConcatPacket)>,
         sched: &mut Scheduler<'_, Event>,
     ) {
+        if batch.is_empty() {
+            return;
+        }
         let (link, sw) = self.from_nic[node as usize];
-        let bytes = pkt.wire_bytes;
-        let arrive = self.links[link.0 as usize].transmit(at.max(sched.now()), bytes);
-        sched.schedule(
-            arrive,
-            Event::PacketAtSwitch {
-                switch: sw,
-                from_nic: true,
-                pkt,
-            },
-        );
+        let link = &mut self.links[link.0 as usize];
+        let now = sched.now();
+        sched.schedule_batch(batch.drain(..).map(|(at, pkt)| {
+            let arrive = link.transmit(at.max(now), pkt.wire_bytes);
+            (
+                arrive,
+                Event::PacketAtSwitch {
+                    switch: sw,
+                    from_nic: true,
+                    pkt,
+                },
+            )
+        }));
+    }
+
+    /// Forwards a batch of packets one hop from `sw`, scheduling every
+    /// surviving arrival as one scheduler batch; unroutable packets are
+    /// blackholed and counted exactly as in [`Fabric::send_from_switch`].
+    /// Drains `batch` so the caller can reuse its allocation.
+    pub(crate) fn send_batch_from_switch(
+        &mut self,
+        shared: &mut Shared,
+        sw: u32,
+        batch: &mut Vec<(SimTime, ConcatPacket)>,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        if batch.is_empty() {
+            return;
+        }
+        let Fabric {
+            links,
+            from_switch,
+            failures,
+            ..
+        } = self;
+        let row = &from_switch[sw as usize];
+        let now = sched.now();
+        sched.schedule_batch(batch.drain(..).filter_map(|(at, pkt)| {
+            let Some((link, to)) = row[pkt.dest as usize] else {
+                shared.faults.dropped_dead += 1;
+                #[cfg(feature = "trace")]
+                shared.trace(
+                    TrackId::switch(sw, lane::FAULT),
+                    TraceEvent::PacketDropped {
+                        reason: DropReason::Dead,
+                        prs: pkt.prs.len() as u32,
+                    },
+                );
+                return None;
+            };
+            if failures.link_dead(link) {
+                shared.faults.dropped_dead += 1;
+                #[cfg(feature = "trace")]
+                shared.trace(
+                    TrackId::switch(sw, lane::FAULT),
+                    TraceEvent::PacketDropped {
+                        reason: DropReason::Dead,
+                        prs: pkt.prs.len() as u32,
+                    },
+                );
+                return None;
+            }
+            let arrive = links[link.0 as usize].transmit(at.max(now), pkt.wire_bytes);
+            Some(match to {
+                Element::Switch(next) => (
+                    arrive,
+                    Event::PacketAtSwitch {
+                        switch: next.0,
+                        from_nic: false,
+                        pkt,
+                    },
+                ),
+                Element::Nic(n) => (arrive, Event::PacketAtNic { node: n, pkt }),
+            })
+        }));
     }
 
     /// Forwards `pkt` one hop from `sw` toward its destination, or

@@ -49,7 +49,7 @@ mod fabric;
 mod node;
 mod rack;
 
-pub use driver::{simulate, try_simulate};
+pub use driver::{simulate, try_simulate, try_simulate_reference};
 #[cfg(feature = "trace")]
 pub use driver::{simulate_traced, try_simulate_traced};
 pub use error::SimError;

@@ -13,8 +13,6 @@
 //! ([`Ctx`]): the fabric for egress, the scheduler for follow-up events,
 //! and the shared counters/auditor/tracer.
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use netsparse_desim::{Scheduler, SimTime};
 use netsparse_netsim::Link;
 use netsparse_snic::{
@@ -34,6 +32,70 @@ pub(crate) fn concat_point(cfg: ConcatConfig, implementation: ConcatImpl) -> Con
     match implementation {
         ConcatImpl::Dedicated => ConcatPoint::dedicated(cfg),
         ConcatImpl::Virtual(pool) => ConcatPoint::virtualized(cfg, pool),
+    }
+}
+
+/// Issue timestamps of outstanding PRs, slab-indexed by client unit.
+///
+/// Each unit's entries stay sorted by `req_id` — `RigClient` allocates
+/// req_ids monotonically, so recording is an append and resolution a
+/// binary search over a short vector (bounded by the pending-table
+/// capacity). A watchdog abandon drains a whole unit in one clear.
+/// req_id (not idx) keeps duplicate issues of one idx distinct, so a
+/// watchdog abandon and a late response can't collide.
+pub(crate) struct IssueLedger {
+    units: Vec<Vec<(u32, SimTime)>>,
+}
+
+impl IssueLedger {
+    fn new(units: usize) -> Self {
+        IssueLedger {
+            units: vec![Vec::new(); units],
+        }
+    }
+
+    /// Records the issue time of `(unit, req_id)`.
+    #[inline]
+    fn record(&mut self, unit: u16, req_id: u32, t: SimTime) {
+        let u = &mut self.units[unit as usize];
+        match u.last() {
+            // req_id wrapped (u32 rollover): fall back to a sorted insert
+            // so the binary-search invariant survives.
+            Some(&(last, _)) if last >= req_id => {
+                let pos = u.partition_point(|&(r, _)| r < req_id);
+                u.insert(pos, (req_id, t));
+            }
+            _ => u.push((req_id, t)),
+        }
+    }
+
+    /// Removes and returns the issue time of `(unit, req_id)`, if that PR
+    /// is still outstanding.
+    #[inline]
+    fn resolve(&mut self, unit: u16, req_id: u32) -> Option<SimTime> {
+        let u = self.units.get_mut(unit as usize)?;
+        let pos = u.binary_search_by_key(&req_id, |&(r, _)| r).ok()?;
+        Some(u.remove(pos).1)
+    }
+
+    /// Forgets every outstanding PR of `unit` (watchdog abandon); returns
+    /// how many were dropped.
+    fn abandon_unit(&mut self, unit: u16) -> u64 {
+        let u = &mut self.units[unit as usize];
+        let n = u.len() as u64;
+        u.clear();
+        n
+    }
+
+    /// Outstanding PRs across all units.
+    pub(crate) fn len(&self) -> usize {
+        self.units.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no PR is outstanding.
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.units.iter().all(Vec::is_empty)
     }
 }
 
@@ -92,13 +154,15 @@ pub(crate) struct NodeState {
     pub(crate) last_dup: u64,
     pub(crate) last_resp: u64,
     pub(crate) finish: Option<SimTime>,
-    pub(crate) needed: BTreeSet<u32>,
-    pub(crate) received: BTreeSet<u32>,
-    /// Issue timestamp of each outstanding PR, keyed by (unit, req_id) —
-    /// the PR round-trip-latency probe and the conservation ledger's
-    /// outstanding set. req_id (not idx) keeps duplicate issues of one idx
-    /// distinct, so a watchdog abandon and a late response can't collide.
-    pub(crate) issue_times: BTreeMap<(u16, u32), SimTime>,
+    /// Remote idxs this node's stream references (fixed-word bitset; the
+    /// functional check compares it against `received`).
+    pub(crate) needed: IdxFilter,
+    /// Distinct idxs a response has arrived for (bitset, same layout as
+    /// `needed` so equality is a word-wise compare).
+    pub(crate) received: IdxFilter,
+    /// Issue timestamp of each outstanding PR — the PR round-trip-latency
+    /// probe and the conservation ledger's outstanding set.
+    pub(crate) issue_times: IssueLedger,
     pub(crate) responses: u64,
     pub(crate) dup_responses: u64,
     pub(crate) rx_payload: u64,
@@ -109,6 +173,13 @@ pub(crate) struct NodeState {
     /// §7.1 escalation: once set, this node's client units stop using
     /// concatenation and the cached path and emit bare singleton PRs.
     pub(crate) degraded_mode: bool,
+    /// Pooled per-event output batch (time-stamped packets bound for the
+    /// fabric), reused across events so the hot path never allocates.
+    pub(crate) out_buf: Vec<(SimTime, ConcatPacket)>,
+    /// Pooled unit-id batches for the response path (stalled units to
+    /// wake, drained units to complete).
+    pub(crate) wake_buf: Vec<u16>,
+    pub(crate) done_buf: Vec<u16>,
 }
 
 /// Builds every node component of the cluster from the configuration and
@@ -133,12 +204,10 @@ pub(crate) fn build_nodes(cfg: &ClusterConfig, wl: &CommWorkload) -> Vec<NodeSta
     (0..wl.nodes())
         .map(|p| {
             let stream = wl.stream(p);
-            let mut needed = BTreeSet::new();
-            for &idx in stream {
-                if wl.owner(idx) != p {
-                    needed.insert(idx);
-                }
-            }
+            let mut needed = IdxFilter::new(wl.n_cols());
+            // Node `p` owns exactly `partition().range(p)`; everything
+            // else in its stream is a remote property it needs.
+            needed.insert_remote(stream, wl.partition().range(p));
             // Straggler slowdown stretches this node's SNIC cycle and
             // server service times.
             let slowdown = cfg
@@ -151,7 +220,12 @@ pub(crate) fn build_nodes(cfg: &ClusterConfig, wl: &CommWorkload) -> Vec<NodeSta
                 id: p,
                 units: (0..cfg.snic.client_units())
                     .map(|tid| ClientUnit {
-                        rig: RigClient::new(p, tid as u16, cfg.snic.pending_entries),
+                        rig: RigClient::with_idx_domain(
+                            p,
+                            tid as u16,
+                            cfg.snic.pending_entries,
+                            wl.n_cols(),
+                        ),
                         state: UnitState::Idle,
                         cmd: None,
                         pos: 0,
@@ -179,14 +253,17 @@ pub(crate) fn build_nodes(cfg: &ClusterConfig, wl: &CommWorkload) -> Vec<NodeSta
                     None
                 },
                 needed,
-                received: BTreeSet::new(),
-                issue_times: BTreeMap::new(),
+                received: IdxFilter::new(wl.n_cols()),
+                issue_times: IssueLedger::new(cfg.snic.client_units() as usize),
                 responses: 0,
                 dup_responses: 0,
                 rx_payload: 0,
                 cycle: SimTime::from_ps_f64(cycle.as_ps() as f64 * slowdown),
                 serve: SimTime::from_ps_f64(server_svc.as_ps() as f64 * slowdown),
                 degraded_mode: false,
+                out_buf: Vec::new(),
+                wake_buf: Vec::new(),
+                done_buf: Vec::new(),
             }
         })
         .collect()
@@ -220,13 +297,14 @@ impl NodeState {
         }
     }
 
-    /// Flushes expired NIC concatenation queues onto the uplink.
+    /// Flushes expired NIC concatenation queues onto the uplink as one
+    /// scheduler batch.
     fn concat_expire(&mut self, now: SimTime, ctx: &mut Ctx<'_, '_, '_>) {
         self.concat_sched = None;
-        let pkts = self.concat.flush_expired(now);
-        for p in pkts {
-            ctx.fabric.send_from_nic(self.id, now, p, ctx.sched);
-        }
+        let mut out = std::mem::take(&mut self.out_buf);
+        self.concat.flush_expired_with(now, |p| out.push((now, p)));
+        ctx.fabric.send_batch_from_nic(self.id, &mut out, ctx.sched);
+        self.out_buf = out;
         self.arm_concat(ctx.sched);
     }
 
@@ -315,7 +393,7 @@ impl NodeState {
         let id = self.id;
         let stream = wl.stream(id);
         let partition = wl.partition();
-        let mut out: Vec<(SimTime, ConcatPacket)> = Vec::new(); // simaudit:allow(no-hot-alloc): per-event output batch, slated for arena pooling
+        let mut out = std::mem::take(&mut self.out_buf);
         let mut command_done = false;
         let mut degraded_sent = 0u64;
 
@@ -334,12 +412,30 @@ impl NodeState {
             debug_assert!(matches!(unit.state, UnitState::Running));
             let mut cycles: u64 = 0;
             let mut processed = 0usize;
+            // One range lookup for the whole chunk: node `id` owns exactly
+            // this contiguous idx range, so locality is two compares.
+            let local = partition.range(id);
             while processed < chunk && unit.pos < end {
                 let idx = stream[unit.pos];
-                let is_local = partition.is_local(id, idx);
+                if local.contains(&idx) {
+                    // Local idxs dominate real streams (>90% under 1-D
+                    // partitioning), and each one only costs a scan cycle
+                    // and a stat tick — consume the whole run here instead
+                    // of round-tripping the RIG pipeline per idx.
+                    let stop = unit.pos + (chunk - processed).min(end - unit.pos);
+                    let run = stream[unit.pos..stop]
+                        .iter()
+                        .take_while(|i| local.contains(i))
+                        .count();
+                    unit.pos += run;
+                    cycles += run as u64;
+                    processed += run;
+                    unit.rig.tally_local(run as u64);
+                    continue;
+                }
                 match unit.rig.process_idx(
                     idx,
-                    is_local,
+                    false,
                     mechanisms.coalesce,
                     mechanisms.filter,
                     filter,
@@ -355,7 +451,7 @@ impl NodeState {
                         let t_pr = now + cycle * cycles;
                         #[cfg(any(debug_assertions, feature = "audit"))]
                         ctx.shared.audit.issue("pr");
-                        issue_times.insert((unit_id, pr.req_id), t_pr);
+                        issue_times.record(unit_id, pr.req_id, t_pr);
                         let dest = partition.owner(idx);
                         if degraded_mode {
                             // §7.1 escalation: bypass concatenation and
@@ -373,9 +469,9 @@ impl NodeState {
                                 ),
                             ));
                         } else {
-                            for pkt in concat.push(t_pr, dest, PrKind::Read, pr, 0) {
+                            concat.push_with(t_pr, dest, PrKind::Read, pr, 0, |pkt| {
                                 out.push((t_pr, pkt));
-                            }
+                            });
                         }
                     }
                     IdxOutcome::Local | IdxOutcome::Filtered | IdxOutcome::Coalesced => {
@@ -406,9 +502,8 @@ impl NodeState {
         }
 
         ctx.shared.faults.degraded_prs += degraded_sent;
-        for (t, pkt) in out {
-            ctx.fabric.send_from_nic(self.id, t, pkt, ctx.sched);
-        }
+        ctx.fabric.send_batch_from_nic(self.id, &mut out, ctx.sched);
+        self.out_buf = out;
         self.arm_concat(ctx.sched);
         if command_done {
             self.complete_command(now, unit_id, ctx);
@@ -480,10 +575,10 @@ impl NodeState {
         let pcie_lat = ctx.shared.pcie_lat;
         let headers = ctx.cfg.headers;
         let degraded = pkt.degraded;
-        let mut out: Vec<(SimTime, ConcatPacket)> = Vec::new(); // simaudit:allow(no-hot-alloc): per-event output batch, slated for arena pooling
+        let mut out = std::mem::take(&mut self.out_buf);
         {
             let svc = self.serve;
-            for pr in pkt.prs {
+            for &pr in &pkt.prs {
                 let t = self.server_busy.max(now) + svc;
                 self.server_busy = t;
                 self.pcie_h2d.transmit(t, payload as u64);
@@ -502,18 +597,22 @@ impl NodeState {
                         ),
                     ));
                 } else {
-                    for p in self
-                        .concat
-                        .push(t_resp, pr.src_node, PrKind::Response, pr, payload)
-                    {
-                        out.push((t_resp, p));
-                    }
+                    self.concat.push_with(
+                        t_resp,
+                        pr.src_node,
+                        PrKind::Response,
+                        pr,
+                        payload,
+                        |p| {
+                            out.push((t_resp, p));
+                        },
+                    );
                 }
             }
         }
-        for (t, p) in out {
-            ctx.fabric.send_from_nic(self.id, t, p, ctx.sched);
-        }
+        self.concat.recycle(pkt.prs);
+        ctx.fabric.send_batch_from_nic(self.id, &mut out, ctx.sched);
+        self.out_buf = out;
         self.arm_concat(ctx.sched);
     }
 
@@ -524,10 +623,10 @@ impl NodeState {
         #[cfg(feature = "trace")]
         let id = self.id;
         let payload = ctx.shared.payload as u64;
-        let mut wake: Vec<u16> = Vec::new(); // simaudit:allow(no-hot-alloc): wake/completed batches slated for arena pooling
-        let mut completed: Vec<u16> = Vec::new();
+        let mut wake = std::mem::take(&mut self.wake_buf);
+        let mut completed = std::mem::take(&mut self.done_buf);
         {
-            for pr in pkt.prs {
+            for &pr in &pkt.prs {
                 let NodeState {
                     units,
                     filter,
@@ -535,7 +634,7 @@ impl NodeState {
                     issue_times,
                     ..
                 } = self;
-                if let Some(t_issue) = issue_times.remove(&(pr.src_tid, pr.req_id)) {
+                if let Some(t_issue) = issue_times.resolve(pr.src_tid, pr.req_id) {
                     ctx.shared
                         .pr_latency
                         .record(now.saturating_sub(t_issue).as_ps());
@@ -581,7 +680,8 @@ impl NodeState {
                 }
             }
         }
-        for u in wake {
+        self.concat.recycle(pkt.prs);
+        for u in wake.drain(..) {
             ctx.sched.schedule(
                 now,
                 Event::ClientProcess {
@@ -590,9 +690,12 @@ impl NodeState {
                 },
             );
         }
-        for u in completed {
+        self.wake_buf = wake;
+        for &u in &completed {
             self.complete_command(now, u, ctx);
         }
+        completed.clear();
+        self.done_buf = completed;
     }
 
     /// §7.1 recovery: the RIG operation timed out. Abandon outstanding
@@ -625,15 +728,7 @@ impl NodeState {
 
         // Abandon the unit's outstanding PRs: any response that still
         // arrives is stale and must not resolve the ledger twice.
-        let stale: Vec<(u16, u32)> = self
-            .issue_times
-            .range((unit_id, 0)..=(unit_id, u32::MAX))
-            .map(|(&k, _)| k)
-            .collect(); // simaudit:allow(no-hot-alloc): stale keys copied out to end the range borrow before removal
-        for k in &stale {
-            self.issue_times.remove(k);
-        }
-        let n_stale = stale.len() as u64;
+        let n_stale = self.issue_times.abandon_unit(unit_id);
         ctx.shared.faults.abandoned_prs += n_stale;
         #[cfg(any(debug_assertions, feature = "audit"))]
         ctx.shared.audit.abandon_n("pr", n_stale);
@@ -679,7 +774,7 @@ impl NodeState {
             };
             for idx in unit.received_this_cmd.drain(..) {
                 filter.remove(idx);
-                received.remove(&idx);
+                received.remove(idx);
             }
             unit.rig.reset_pending();
             unit.pos = start;

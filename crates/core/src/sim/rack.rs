@@ -34,6 +34,9 @@ pub(crate) struct RackState {
     /// Whether this switch runs the NetSparse extensions (edge switches
     /// with the mechanisms enabled).
     pub(crate) netsparse: bool,
+    /// Pooled per-event output batch (time-stamped packets bound for the
+    /// fabric), reused across events so the hot path never allocates.
+    pub(crate) out_buf: Vec<(SimTime, ConcatPacket)>,
 }
 
 /// Builds every switch component of the cluster (`n_switches` of them,
@@ -68,6 +71,7 @@ pub(crate) fn build_racks(cfg: &ClusterConfig, n_switches: u32) -> Vec<RackState
                 concat: concat_point(switch_concat_cfg, cfg.concat_impl),
                 concat_sched: None,
                 netsparse: edge && cfg.mechanisms.netsparse_switch(),
+                out_buf: Vec::new(),
             }
         })
         .collect()
@@ -98,14 +102,15 @@ impl RackState {
         }
     }
 
-    /// Flushes expired concatenation queues onto the forwarding path.
+    /// Flushes expired concatenation queues onto the forwarding path as
+    /// one scheduler batch.
     fn concat_expire(&mut self, now: SimTime, ctx: &mut Ctx<'_, '_, '_>) {
         self.concat_sched = None;
-        let pkts = self.concat.flush_expired(now);
-        for p in pkts {
-            ctx.fabric
-                .send_from_switch(ctx.shared, self.id, now, p, ctx.sched);
-        }
+        let mut out = std::mem::take(&mut self.out_buf);
+        self.concat.flush_expired_with(now, |p| out.push((now, p)));
+        ctx.fabric
+            .send_batch_from_switch(ctx.shared, self.id, &mut out, ctx.sched);
+        self.out_buf = out;
         self.arm_concat(ctx.sched);
     }
 
@@ -163,7 +168,7 @@ impl RackState {
         };
         let wl = ctx.wl;
         let partition = wl.partition();
-        let mut out: Vec<(SimTime, ConcatPacket)> = Vec::new(); // simaudit:allow(no-hot-alloc): per-event output batch, slated for arena pooling
+        let mut out = std::mem::take(&mut self.out_buf);
         {
             let st = &mut *self;
             match pkt.kind {
@@ -171,43 +176,43 @@ impl RackState {
                     let home = pkt.dest;
                     let cacheable =
                         cache_on && st.pipes.enabled() && topo.edge_switch_of(home).0 != sw;
-                    for pr in pkt.prs {
+                    for &pr in &pkt.prs {
                         if cacheable && st.pipes.lookup(home, pr.idx) {
                             // Hit: the read becomes a response to its source.
-                            for p in
-                                st.concat
-                                    .push(t_pr, pr.src_node, PrKind::Response, pr, payload)
-                            {
-                                out.push((t_pr, p));
-                            }
+                            st.concat.push_with(
+                                t_pr,
+                                pr.src_node,
+                                PrKind::Response,
+                                pr,
+                                payload,
+                                |p| out.push((t_pr, p)),
+                            );
                         } else {
-                            for p in st.concat.push(t_pr, home, PrKind::Read, pr, 0) {
+                            st.concat.push_with(t_pr, home, PrKind::Read, pr, 0, |p| {
                                 out.push((t_pr, p));
-                            }
+                            });
                         }
                     }
                 }
                 PrKind::Response => {
                     let requester = pkt.dest;
-                    for pr in pkt.prs {
+                    for &pr in &pkt.prs {
                         let home = partition.owner(pr.idx);
                         if cache_on && st.pipes.enabled() && topo.edge_switch_of(home).0 != sw {
                             st.pipes.insert(home, pr.idx);
                         }
-                        for p in st
-                            .concat
-                            .push(t_pr, requester, PrKind::Response, pr, payload)
-                        {
-                            out.push((t_pr, p));
-                        }
+                        st.concat
+                            .push_with(t_pr, requester, PrKind::Response, pr, payload, |p| {
+                                out.push((t_pr, p));
+                            });
                     }
                 }
             }
+            st.concat.recycle(pkt.prs);
         }
-        for (at, p) in out {
-            ctx.fabric
-                .send_from_switch(ctx.shared, sw, at, p, ctx.sched);
-        }
+        ctx.fabric
+            .send_batch_from_switch(ctx.shared, sw, &mut out, ctx.sched);
+        self.out_buf = out;
         self.arm_concat(ctx.sched);
     }
 }

@@ -2,12 +2,17 @@
 //!
 //! [`EventQueue`] is a deterministic priority queue of `(time, event)` pairs:
 //! ties in time are broken by insertion order, so a simulation is a pure
-//! function of its inputs. [`Engine`] wraps the queue with a run loop and
+//! function of its inputs. The default backend is a calendar queue — a ring
+//! of power-of-two-width day buckets giving O(1) amortized push/pop on the
+//! roughly uniform event streams a packet simulation produces — with the
+//! original [`BinaryHeap`] kept as a reference backend
+//! ([`EventQueue::reference_heap`]) that the equivalence suite pins the
+//! calendar against. [`Engine`] wraps the queue with a run loop and
 //! bookkeeping (event counts, horizon limits) and hands each handler a
 //! [`Scheduler`] view through which new events are pushed.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
 use crate::time::SimTime;
@@ -114,11 +119,199 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Fewest day buckets the calendar ring ever holds.
+const MIN_BUCKETS: usize = 16;
+/// Most day buckets the calendar ring ever grows to.
+const MAX_BUCKETS: usize = 1 << 20;
+/// Widest day a rebuild may pick: 2^40 ps ≈ 1.1 ms per bucket.
+const MAX_SHIFT: u32 = 40;
+/// Day width before the first rebuild calibrates one: 2^13 ps ≈ 8 ns.
+const INITIAL_SHIFT: u32 = 13;
+
+/// The calendar-queue backend: a ring of power-of-two-width "day" buckets.
+///
+/// An entry's day is `time.as_ps() >> shift`; days map onto the ring
+/// modulo the (power-of-two) bucket count, so far-future days alias onto
+/// the same buckets and are skipped by the day check on pop. Each bucket
+/// stays sorted ascending by `(time, seq)`: the common push (latest entry
+/// in its bucket) is an append, and the bucket head is always the
+/// bucket's earliest entry, so pop is a head check per visited day.
+/// Rebuilds (triggered by size hysteresis, never by time) re-pick the
+/// width so pending events spread at O(1) per populated day; every
+/// decision is a pure function of queue content, keeping pop order — and
+/// therefore the audit digest — bit-identical across machines.
+struct Calendar<E> {
+    /// Ring of day buckets (power-of-two count), each sorted ascending
+    /// by `(time, seq)`. Deques so the head pop is O(1) rather than a
+    /// front-of-`Vec` memmove — the pop path runs once per event.
+    buckets: Vec<VecDeque<Entry<E>>>,
+    /// Bucket width as a power of two: an entry's day is `ps >> shift`.
+    shift: u32,
+    /// The earliest day that may still hold entries: every pending entry
+    /// has `day >= cur_day` (pushes behind the cursor rewind it).
+    cur_day: u64,
+    /// Total pending entries across all buckets.
+    len: usize,
+}
+
+impl<E> Calendar<E> {
+    fn new() -> Self {
+        let mut buckets = Vec::with_capacity(MIN_BUCKETS);
+        buckets.resize_with(MIN_BUCKETS, VecDeque::default);
+        Calendar {
+            buckets,
+            shift: INITIAL_SHIFT,
+            cur_day: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn day(&self, t: SimTime) -> u64 {
+        t.as_ps() >> self.shift
+    }
+
+    #[inline]
+    fn push(&mut self, time: SimTime, seq: u64, event: E) {
+        let day = self.day(time);
+        if day < self.cur_day {
+            // Push behind the drain cursor (legal on a standalone queue):
+            // rewind so the scan revisits that day.
+            self.cur_day = day;
+        }
+        let mask = self.buckets.len() - 1;
+        let b = &mut self.buckets[(day as usize) & mask];
+        if b.back().is_none_or(|e| (e.time, e.seq) < (time, seq)) {
+            b.push_back(Entry { time, seq, event });
+        } else {
+            let pos = b.partition_point(|e| (e.time, e.seq) < (time, seq));
+            b.insert(pos, Entry { time, seq, event });
+        }
+        self.len += 1;
+        if self.len > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
+            self.rebuild(self.buckets.len() * 2);
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.buckets.len() == MIN_BUCKETS {
+            // Sparse regime: at the floor ring size a direct scan of the
+            // bucket heads (16 loads, no data-dependent branching) beats
+            // day-walking across mostly-empty days and never needs the
+            // full-revolution fallback. Equal times share a day and hence
+            // a bucket, so comparing heads by time alone picks the unique
+            // global `(time, seq)` minimum — pop order is identical to
+            // the day-walk's.
+            let slot = self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| b.front().map(|e| (e.time, i)))
+                .min()
+                .map(|(_, i)| i)?;
+            let e = self.buckets[slot].pop_front()?;
+            self.cur_day = e.time.as_ps() >> self.shift;
+            self.len -= 1;
+            return Some((e.time, e.event));
+        }
+        let mask = self.buckets.len() - 1;
+        let mut hops = 0usize;
+        loop {
+            let b = &mut self.buckets[(self.cur_day as usize) & mask];
+            if b.front()
+                .is_some_and(|first| first.time.as_ps() >> self.shift == self.cur_day)
+            {
+                let e = b.pop_front()?;
+                self.len -= 1;
+                if self.len * 8 < self.buckets.len() && self.buckets.len() > MIN_BUCKETS {
+                    self.rebuild((self.buckets.len() / 2).max(MIN_BUCKETS));
+                }
+                return Some((e.time, e.event));
+            }
+            self.cur_day += 1;
+            hops += 1;
+            if hops > mask {
+                // A full revolution found nothing: every remaining entry
+                // lies beyond the ring horizon. Jump straight to the
+                // earliest populated day instead of walking the gap.
+                self.cur_day = self.min_day()?;
+                hops = 0;
+            }
+        }
+    }
+
+    /// The `(time, seq)`-earliest pending entry's time, by scanning the
+    /// bucket heads (each head is its bucket's minimum).
+    fn peek_time(&self) -> Option<SimTime> {
+        self.buckets
+            .iter()
+            .filter_map(|b| b.front())
+            .map(|e| (e.time, e.seq))
+            .min()
+            .map(|(t, _)| t)
+    }
+
+    /// The day of the earliest pending entry; `None` on an empty queue.
+    fn min_day(&self) -> Option<u64> {
+        self.peek_time().map(|t| self.day(t))
+    }
+
+    /// Redistributes every entry over `nbuckets` buckets, re-picking the
+    /// day width from the pending span so occupancy stays O(1) per day.
+    /// Runs on size-hysteresis boundaries only, so its cost is amortized
+    /// O(1) per push/pop; all inputs are queue content, never wall time.
+    fn rebuild(&mut self, nbuckets: usize) {
+        debug_assert!(nbuckets.is_power_of_two());
+        let mut all = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            all.extend(b.drain(..));
+        }
+        all.sort_unstable_by_key(|a| (a.time, a.seq));
+        if let (Some(first), Some(last)) = (all.first(), all.last()) {
+            // Aim for ~2 days per pending event: sparse enough that a
+            // day bucket holds O(1) entries, dense enough that pop's
+            // day-advance rarely crosses long empty stretches.
+            let span = last.time.as_ps() - first.time.as_ps();
+            let width = (span / (2 * all.len() as u64)).max(1);
+            self.shift = width.ilog2().min(MAX_SHIFT);
+            self.cur_day = self.day(first.time);
+        }
+        if nbuckets > self.buckets.len() {
+            self.buckets.resize_with(nbuckets, VecDeque::default);
+        } else {
+            self.buckets.truncate(nbuckets);
+        }
+        let mask = nbuckets - 1;
+        for e in all {
+            let slot = (self.day(e.time) as usize) & mask;
+            self.buckets[slot].push_back(e);
+        }
+    }
+}
+
+/// The queue's storage strategy (see [`EventQueue::reference_heap`]).
+enum Backend<E> {
+    /// The default bucketed scheduler.
+    Calendar(Calendar<E>),
+    /// The original binary-heap implementation, kept as the behavioral
+    /// reference the calendar is pinned against.
+    Heap(BinaryHeap<Entry<E>>),
+}
+
 /// A deterministic min-priority queue of timestamped events.
 ///
 /// Events that share a timestamp are delivered in the order they were
 /// scheduled (FIFO), which makes simulations reproducible run-to-run and
 /// across machines.
+///
+/// The default backend is a calendar queue (O(1) amortized push/pop);
+/// [`EventQueue::reference_heap`] builds the original binary-heap variant,
+/// which delivers the exact same `(time, seq)` stream and exists so
+/// equivalence tests and benchmarks can compare the two.
 ///
 /// # Example
 ///
@@ -134,7 +327,7 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
     seq: u64,
 }
 
@@ -145,10 +338,23 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the default calendar backend.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend: Backend::Calendar(Calendar::new()),
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue on the binary-heap reference backend.
+    ///
+    /// Pop order is identical to [`EventQueue::new`]; the heap exists as
+    /// the independent implementation the calendar queue is checked
+    /// against (see `tests/engine_equivalence.rs`) and as the baseline
+    /// `bench_engine` measures speedups over.
+    pub fn reference_heap() -> Self {
+        EventQueue {
+            backend: Backend::Heap(BinaryHeap::default()),
             seq: 0,
         }
     }
@@ -158,31 +364,43 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        match &mut self.backend {
+            Backend::Calendar(c) => c.push(time, seq, event),
+            Backend::Heap(h) => h.push(Entry { time, seq, event }),
+        }
     }
 
     /// Removes and returns the earliest event, if any.
     #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        match &mut self.backend {
+            Backend::Calendar(c) => c.pop(),
+            Backend::Heap(h) => h.pop().map(|e| (e.time, e.event)),
+        }
     }
 
     /// The timestamp of the earliest pending event.
     #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        match &self.backend {
+            Backend::Calendar(c) => c.peek_time(),
+            Backend::Heap(h) => h.peek().map(|e| e.time),
+        }
     }
 
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Calendar(c) => c.len,
+            Backend::Heap(h) => h.len(),
+        }
     }
 
     /// Whether no events are pending.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -243,6 +461,22 @@ impl<E> Scheduler<'_, E> {
     pub fn schedule_now(&mut self, event: E) {
         self.queue.push(self.now, event);
     }
+
+    /// Schedules a whole batch of `(time, event)` pairs in iteration
+    /// order: one call, consecutive sequence numbers, and exactly the
+    /// delivery order N individual [`Scheduler::schedule`] calls would
+    /// produce. Batch emitters (link flushes in the fabric) use this so
+    /// a drained pool buffer turns into one scheduled batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any item's time is in the past, like `schedule`.
+    #[inline]
+    pub fn schedule_batch(&mut self, batch: impl IntoIterator<Item = (SimTime, E)>) {
+        for (time, event) in batch {
+            self.schedule(time, event);
+        }
+    }
 }
 
 /// The simulation driver: an [`EventQueue`] plus a run loop.
@@ -293,6 +527,24 @@ impl<E> Engine<E> {
     #[must_use]
     pub fn with_horizon(mut self, horizon: SimTime) -> Self {
         self.horizon = horizon;
+        self
+    }
+
+    /// Swaps the default calendar queue for the binary-heap reference
+    /// backend ([`EventQueue::reference_heap`]). Event order and digests
+    /// are identical either way; the equivalence suite and `bench_engine`
+    /// use this to run both implementations against each other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events were already scheduled (the swap would drop them).
+    #[must_use]
+    pub fn with_reference_queue(mut self) -> Self {
+        assert!(
+            self.queue.is_empty(),
+            "with_reference_queue must be called before scheduling events"
+        );
+        self.queue = EventQueue::reference_heap();
         self
     }
 
@@ -662,6 +914,137 @@ mod tests {
             })
             .unwrap();
         assert_eq!(end, SimTime::from_ns(5));
+    }
+
+    #[test]
+    fn calendar_matches_heap_reference_on_random_churn() {
+        // Interleaved pushes and pops with clustered, duplicated and
+        // far-apart timestamps: both backends must produce the exact
+        // same (time, payload) stream.
+        use crate::rng::SplitMix64;
+        for seed in [3u64, 17, 92] {
+            let mut cal: EventQueue<u64> = EventQueue::new();
+            let mut heap: EventQueue<u64> = EventQueue::reference_heap();
+            let mut rng = SplitMix64::new(seed);
+            let mut base = 0u64;
+            for i in 0..5_000u64 {
+                // Mostly near-future pushes, occasional same-instant
+                // bursts and millisecond-scale outliers.
+                let dt = match rng.next_range(10) {
+                    0 => 0,
+                    1..=7 => rng.next_range(2_000),
+                    _ => rng.next_range(2_000_000),
+                };
+                let t = SimTime::from_ps(base + dt);
+                cal.push(t, i);
+                heap.push(t, i);
+                if rng.chance(0.6) {
+                    let a = cal.pop();
+                    let b = heap.pop();
+                    assert_eq!(a, b, "backends diverged (seed {seed})");
+                    if let Some((t, _)) = a {
+                        // Keep pushes causal, like a Scheduler would.
+                        base = base.max(t.as_ps());
+                    }
+                }
+            }
+            assert_eq!(cal.len(), heap.len());
+            while let Some(a) = cal.pop() {
+                assert_eq!(Some(a), heap.pop(), "drain diverged (seed {seed})");
+            }
+            assert_eq!(heap.pop(), None);
+        }
+    }
+
+    #[test]
+    fn calendar_jumps_far_future_gaps() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        // A tight cluster, then a gap many ring revolutions wide.
+        for i in 0..40 {
+            q.push(SimTime::from_ns(i as u64), i);
+        }
+        q.push(SimTime::from_ms(250), 1_000);
+        q.push(SimTime::from_ms(250), 1_001);
+        for i in 0..40 {
+            assert_eq!(q.pop(), Some((SimTime::from_ns(i as u64), i)));
+        }
+        assert_eq!(q.pop(), Some((SimTime::from_ms(250), 1_000)));
+        assert_eq!(q.pop(), Some((SimTime::from_ms(250), 1_001)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn calendar_survives_growth_and_shrink_cycles() {
+        // 10k pushes force several grows; the full drain forces shrinks.
+        use crate::rng::SplitMix64;
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut rng = SplitMix64::new(7);
+        for i in 0..10_000u64 {
+            q.push(SimTime::from_ps(rng.next_range(1 << 30)), i);
+        }
+        assert_eq!(q.len(), 10_000);
+        let mut last = (SimTime::ZERO, 0u64);
+        let mut popped = 0;
+        while let Some((t, e)) = q.pop() {
+            assert!((t, e) >= last, "pop order regressed at {t} #{e}");
+            last = (t, e);
+            popped += 1;
+        }
+        assert_eq!(popped, 10_000);
+    }
+
+    #[test]
+    fn standalone_queue_accepts_pushes_behind_the_cursor() {
+        // A bare queue (no Scheduler causality guard) may push earlier
+        // than the last pop; the calendar must rewind and serve it.
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.push(SimTime::from_us(10), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_us(10), 1)));
+        q.push(SimTime::from_ns(3), 2);
+        q.push(SimTime::from_us(20), 3);
+        assert_eq!(q.pop(), Some((SimTime::from_ns(3), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_us(20), 3)));
+    }
+
+    #[test]
+    fn peek_time_reports_the_earliest_entry() {
+        for mut q in [EventQueue::new(), EventQueue::reference_heap()] {
+            assert_eq!(q.peek_time(), None);
+            q.push(SimTime::from_ns(9), 1u8);
+            q.push(SimTime::from_ns(4), 2);
+            q.push(SimTime::from_ms(80), 3);
+            assert_eq!(q.peek_time(), Some(SimTime::from_ns(4)));
+            q.pop();
+            assert_eq!(q.peek_time(), Some(SimTime::from_ns(9)));
+        }
+    }
+
+    #[test]
+    fn schedule_batch_matches_individual_schedules() {
+        let run = |batched: bool| {
+            let mut q: EventQueue<u8> = EventQueue::new();
+            {
+                let mut sched = Scheduler::at(&mut q, SimTime::from_ns(1));
+                let items = [
+                    (SimTime::from_ns(5), 1),
+                    (SimTime::from_ns(2), 2),
+                    (SimTime::from_ns(5), 3),
+                ];
+                if batched {
+                    sched.schedule_batch(items);
+                } else {
+                    for (t, e) in items {
+                        sched.schedule(t, e);
+                    }
+                }
+            }
+            let mut order = Vec::new();
+            while let Some(x) = q.pop() {
+                order.push(x);
+            }
+            order
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! early (the paper's "EQ index" metadata).
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 
 use netsparse_desim::{Histogram, SimTime};
 
@@ -100,12 +100,16 @@ impl ConcatPacket {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct Cq {
     prs: Vec<Pr>,
     payload_per_pr: u32,
     generation: u64,
 }
+
+/// Most emptied PR buffers a concatenation point keeps for reuse; beyond
+/// this, returned buffers are simply dropped.
+const SPARE_CAP: usize = 64;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct EqEntry {
@@ -142,10 +146,19 @@ struct EqEntry {
 /// assert_eq!(pkts.len(), 1);
 /// assert_eq!(pkts[0].prs.len(), 2);
 /// ```
+/// CQ storage is a dense slab indexed by `dest * 2 + kind` (the id-space
+/// contract: destinations are dense node ids assigned by the cluster, so
+/// the slab is at most `2 * nodes` small structs). Slot order equals the
+/// former `BTreeMap<(u32, PrKind), Cq>` iteration order — destination
+/// ascending, [`PrKind::Read`] before [`PrKind::Response`] — so drain
+/// order (and with it every committed digest) is unchanged. Emptied PR
+/// buffers rotate through a spare pool ([`Concatenator::recycle`])
+/// instead of being reallocated per packet.
 #[derive(Debug)]
 pub struct Concatenator {
     cfg: ConcatConfig,
-    queues: BTreeMap<(u32, PrKind), Cq>,
+    queues: Vec<Cq>,
+    spare: Vec<Vec<Pr>>,
     eq: BinaryHeap<Reverse<EqEntry>>,
     eq_seq: u64,
     prs_per_packet: Histogram,
@@ -159,13 +172,48 @@ impl Concatenator {
     pub fn new(cfg: ConcatConfig) -> Self {
         Concatenator {
             cfg,
-            queues: BTreeMap::new(),
+            queues: Vec::new(),
+            spare: Vec::new(),
             eq: BinaryHeap::new(),
             eq_seq: 0,
             prs_per_packet: Histogram::new(),
             packets: 0,
             #[cfg(feature = "trace")]
             tracer: None,
+        }
+    }
+
+    /// The slab slot of a `(dest, kind)` CQ: destinations are dense ids,
+    /// so each gets two adjacent slots (read, then response).
+    #[inline]
+    fn slot(dest: u32, kind: PrKind) -> usize {
+        dest as usize * 2 + kind as usize
+    }
+
+    /// The `(dest, kind)` a slab slot holds.
+    #[inline]
+    fn unslot(slot: usize) -> (u32, PrKind) {
+        let kind = if slot.is_multiple_of(2) {
+            PrKind::Read
+        } else {
+            PrKind::Response
+        };
+        ((slot / 2) as u32, kind)
+    }
+
+    /// Pops a pooled PR buffer, or a fresh one when the pool is dry.
+    #[inline]
+    fn take_spare(&mut self) -> Vec<Pr> {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    /// Donates an emptied PR buffer (a consumed packet's `prs`) back to
+    /// the pool so the next emission reuses its capacity.
+    #[inline]
+    pub fn recycle(&mut self, mut prs: Vec<Pr>) {
+        if self.spare.len() < SPARE_CAP {
+            prs.clear();
+            self.spare.push(prs);
         }
     }
 
@@ -201,14 +249,26 @@ impl Concatenator {
         payload_bytes: u32,
     ) -> Option<ConcatPacket> {
         if !self.cfg.enabled {
-            return Some(self.emit(dest, kind, vec![pr], payload_bytes, FlushReason::Bypass));
+            let mut prs = self.take_spare();
+            prs.push(pr);
+            return Some(self.emit(dest, kind, prs, payload_bytes, FlushReason::Bypass));
         }
         let max_prs = self.cfg.headers.prs_per_mtu(self.cfg.mtu, payload_bytes);
-        let cq = self.queues.entry((dest, kind)).or_insert(Cq {
-            prs: Vec::new(), // simaudit:allow(no-hot-alloc): CQ storage created once per destination, then reused
-            payload_per_pr: payload_bytes,
-            generation: 0,
-        });
+        let delay = self.cfg.delay;
+        let slot = Self::slot(dest, kind);
+        if slot >= self.queues.len() {
+            // First PR for this destination: grow the slab (amortized
+            // once per destination over the whole run, then reused).
+            self.queues.resize_with(slot + 1, Cq::default);
+        }
+        let Concatenator {
+            queues,
+            spare,
+            eq,
+            eq_seq,
+            ..
+        } = self;
+        let cq = &mut queues[slot];
         if !cq.prs.is_empty() {
             assert_eq!(
                 cq.payload_per_pr, payload_bytes,
@@ -220,7 +280,7 @@ impl Concatenator {
 
         // Flush first if this PR does not fit.
         let flushed = if cq.prs.len() as u32 >= max_prs {
-            let prs = std::mem::take(&mut cq.prs);
+            let prs = std::mem::replace(&mut cq.prs, spare.pop().unwrap_or_default());
             let payload = cq.payload_per_pr;
             cq.generation += 1;
             Some((prs, payload))
@@ -229,11 +289,13 @@ impl Concatenator {
         };
 
         if cq.prs.is_empty() {
-            // First PR of a (new) CQ: arm its expiration entry.
-            let seq = self.eq_seq;
-            self.eq_seq += 1;
-            self.eq.push(Reverse(EqEntry {
-                expires: now + self.cfg.delay,
+            // First PR of a (new) CQ: size the buffer for a full packet up
+            // front (no doubling reallocs mid-fill) and arm its expiration.
+            cq.prs.reserve(max_prs as usize);
+            let seq = *eq_seq;
+            *eq_seq += 1;
+            eq.push(Reverse(EqEntry {
+                expires: now + delay,
                 seq,
                 dest,
                 kind,
@@ -252,7 +314,7 @@ impl Concatenator {
         while let Some(Reverse(head)) = self.eq.peek() {
             let live = self
                 .queues
-                .get(&(head.dest, head.kind))
+                .get(Self::slot(head.dest, head.kind))
                 .is_some_and(|cq| cq.generation == head.generation && !cq.prs.is_empty());
             if live {
                 return Some(head.expires);
@@ -262,51 +324,70 @@ impl Concatenator {
         None
     }
 
-    /// Flushes every CQ whose expiration time has passed.
-    pub fn flush_expired(&mut self, now: SimTime) -> Vec<ConcatPacket> {
-        let mut out = Vec::new(); // simaudit:allow(no-hot-alloc): flushed packet batch slated for arena pooling
-        while let Some(Reverse(head)) = self.eq.peek().copied().map(Some).unwrap_or(None) {
+    /// Flushes every CQ whose expiration time has passed, handing each
+    /// emitted packet to `sink`. This is the event-path entry point: the
+    /// caller owns the output buffer, so the flush itself allocates
+    /// nothing.
+    pub fn flush_expired_with(&mut self, now: SimTime, mut sink: impl FnMut(ConcatPacket)) {
+        while let Some(&Reverse(head)) = self.eq.peek() {
             if head.expires > now {
                 break;
             }
             self.eq.pop();
-            if let Some(cq) = self.queues.get_mut(&(head.dest, head.kind)) {
-                if cq.generation == head.generation && !cq.prs.is_empty() {
-                    let prs = std::mem::take(&mut cq.prs);
+            let slot = Self::slot(head.dest, head.kind);
+            let Concatenator { queues, spare, .. } = &mut *self;
+            let flushed = match queues.get_mut(slot) {
+                Some(cq) if cq.generation == head.generation && !cq.prs.is_empty() => {
+                    let prs = std::mem::replace(&mut cq.prs, spare.pop().unwrap_or_default());
                     let payload = cq.payload_per_pr;
                     cq.generation += 1;
-                    out.push(self.emit(head.dest, head.kind, prs, payload, FlushReason::Expired));
+                    Some((prs, payload))
                 }
+                _ => None,
+            };
+            if let Some((prs, payload)) = flushed {
+                sink(self.emit(head.dest, head.kind, prs, payload, FlushReason::Expired));
             }
         }
+    }
+
+    /// Flushes every CQ whose expiration time has passed.
+    pub fn flush_expired(&mut self, now: SimTime) -> Vec<ConcatPacket> {
+        let mut out = Vec::new(); // simaudit:allow(no-hot-alloc): convenience wrapper for tests and doctests; the event path uses flush_expired_with
+        self.flush_expired_with(now, |p| out.push(p));
         out
+    }
+
+    /// Flushes every non-empty CQ regardless of expiry (drain at kernel
+    /// end), handing each emitted packet to `sink` in slot order — the
+    /// same (destination, kind) order the former map-keyed storage
+    /// drained in.
+    pub fn flush_all_with(&mut self, mut sink: impl FnMut(ConcatPacket)) {
+        for slot in 0..self.queues.len() {
+            let Concatenator { queues, spare, .. } = &mut *self;
+            let cq = &mut queues[slot];
+            if cq.prs.is_empty() {
+                continue;
+            }
+            let prs = std::mem::replace(&mut cq.prs, spare.pop().unwrap_or_default());
+            let payload = cq.payload_per_pr;
+            cq.generation += 1;
+            let (dest, kind) = Self::unslot(slot);
+            sink(self.emit(dest, kind, prs, payload, FlushReason::Drained));
+        }
     }
 
     /// Flushes every non-empty CQ regardless of expiry (drain at kernel
     /// end).
     pub fn flush_all(&mut self) -> Vec<ConcatPacket> {
-        let keys: Vec<(u32, PrKind)> = self
-            .queues
-            .iter()
-            .filter(|(_, cq)| !cq.prs.is_empty())
-            .map(|(&k, _)| k)
-            .collect(); // simaudit:allow(no-hot-alloc): flush key list and batch slated for arena pooling
-        let mut out = Vec::new();
-        for (dest, kind) in keys {
-            let Some(cq) = self.queues.get_mut(&(dest, kind)) else {
-                continue;
-            };
-            let prs = std::mem::take(&mut cq.prs);
-            let payload = cq.payload_per_pr;
-            cq.generation += 1;
-            out.push(self.emit(dest, kind, prs, payload, FlushReason::Drained));
-        }
+        let mut out = Vec::new(); // simaudit:allow(no-hot-alloc): convenience wrapper for tests and doctests; the event path uses flush_all_with
+        self.flush_all_with(|p| out.push(p));
         out
     }
 
     /// Total PRs currently waiting across all CQs.
     pub fn queued_prs(&self) -> usize {
-        self.queues.values().map(|cq| cq.prs.len()).sum()
+        self.queues.iter().map(|cq| cq.prs.len()).sum()
     }
 
     /// Packets emitted so far.

@@ -23,14 +23,14 @@
 /// assert!(!f.insert(42)); // already set
 /// assert!(f.contains(42));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IdxFilter {
     n_cols: u32,
     backing: Backing,
     set_bits: u64,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum Backing {
     Dense(Vec<u64>),
     Sparse(std::collections::BTreeSet<u32>),
@@ -133,6 +133,49 @@ impl IdxFilter {
         was
     }
 
+    /// Sets the bit of every idx in `idxs` that lies *outside*
+    /// `local`, in one pass — the bulk builder for per-node "needed"
+    /// sets (a node needs exactly its stream's remote idxs). Equivalent
+    /// to filtered per-idx [`IdxFilter::insert`] calls, but the dense
+    /// backing skips per-bit bookkeeping and recounts once at the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any idx in `idxs` (or `local.end - 1`) is `>= n_cols`.
+    pub fn insert_remote(&mut self, idxs: &[u32], local: std::ops::Range<u32>) {
+        match &mut self.backing {
+            Backing::Dense(bits) => {
+                // Branchless pass: set every stream bit, then erase the
+                // local range wholesale (every local idx lies inside it,
+                // so the end state is exactly "remote stream idxs").
+                for &idx in idxs {
+                    bits[(idx / 64) as usize] |= 1u64 << (idx % 64);
+                }
+                let (start, end) = (local.start as usize, local.end as usize);
+                if start < end {
+                    let (first, last) = (start / 64, (end - 1) / 64);
+                    let head = !0u64 << (start % 64);
+                    let tail = !0u64 >> (63 - (end - 1) % 64);
+                    if first == last {
+                        bits[first] &= !(head & tail);
+                    } else {
+                        bits[first] &= !head;
+                        bits[first + 1..last].fill(0);
+                        bits[last] &= !tail;
+                    }
+                }
+                self.set_bits = bits.iter().map(|w| w.count_ones() as u64).sum();
+            }
+            Backing::Sparse(_) => {
+                for &idx in idxs {
+                    if !local.contains(&idx) {
+                        self.insert(idx);
+                    }
+                }
+            }
+        }
+    }
+
     /// Clears every bit (the control plane resets the filter between
     /// kernel iterations when the input property array changes).
     pub fn clear(&mut self) {
@@ -177,6 +220,26 @@ mod tests {
             f.clear();
             assert!(!f.contains(7));
             assert!(f.is_empty());
+        }
+    }
+
+    #[test]
+    fn insert_remote_matches_per_idx_inserts() {
+        for n in [1_000u32, DENSE_LIMIT + 100] {
+            let idxs = [3u32, 999, 64, 63, 3, 500, 128, 64, 200];
+            let local = 100..600;
+            let mut bulk = IdxFilter::new(n);
+            bulk.insert_remote(&idxs, local.clone());
+            let mut one_by_one = IdxFilter::new(n);
+            for &i in &idxs {
+                if !local.contains(&i) {
+                    one_by_one.insert(i);
+                }
+            }
+            assert_eq!(bulk.len(), one_by_one.len());
+            for i in 0..1_000 {
+                assert_eq!(bulk.contains(i), one_by_one.contains(i), "idx {i}");
+            }
         }
     }
 

@@ -11,6 +11,23 @@
 //!   unit stalls, bounding the node's outstanding traffic — this is what
 //!   makes the lossless-network assumption self-enforcing.
 
+/// Widest idx domain the dense bitset backing accepts: 2^22 bits is
+/// 512 KiB per table, past which the sorted fallback is cheaper to set up
+/// than the bitset is to probe.
+const DENSE_DOMAIN_LIMIT: u32 = 1 << 22;
+
+/// Membership storage behind [`PendingTable`] (see [`PendingTable::for_domain`]).
+#[derive(Debug, Clone)]
+enum Backing {
+    /// One bit per idx of a known, bounded domain: `contains` is a single
+    /// word probe — the coalescing check runs once per scanned idx, so
+    /// this is the hottest read in the whole client pipeline.
+    Dense { words: Vec<u64> },
+    /// Sorted idx list for unbounded domains (arbitrary `u32` idxs):
+    /// binary search over at most `capacity` entries.
+    Sorted { entries: Vec<u32> },
+}
+
 /// A bounded set of outstanding PR idxs.
 ///
 /// # Example
@@ -26,15 +43,24 @@
 /// t.remove(5);
 /// assert!(t.insert(11));
 /// ```
+///
+/// The table is a pure membership set — nothing observes an entry order —
+/// so the backing is chosen by how much is known about the idx domain:
+/// [`PendingTable::for_domain`] uses a dense bitset (O(1) probes) when the
+/// workload's column count is bounded, and [`PendingTable::new`] falls
+/// back to a sorted `Vec<u32>` for arbitrary `u32` idxs. Both backings
+/// are semantically identical.
 #[derive(Debug, Clone)]
 pub struct PendingTable {
     capacity: usize,
-    entries: std::collections::BTreeSet<u32>,
+    len: usize,
     peak: usize,
+    backing: Backing,
 }
 
 impl PendingTable {
-    /// Creates an empty table with room for `capacity` outstanding PRs.
+    /// Creates an empty table with room for `capacity` outstanding PRs,
+    /// accepting arbitrary `u32` idxs (sorted backing).
     ///
     /// # Panics
     ///
@@ -43,8 +69,35 @@ impl PendingTable {
         assert!(capacity > 0, "pending table needs at least one entry");
         PendingTable {
             capacity,
-            entries: std::collections::BTreeSet::new(),
+            len: 0,
             peak: 0,
+            backing: Backing::Sorted {
+                entries: Vec::with_capacity(capacity),
+            },
+        }
+    }
+
+    /// Creates an empty table with room for `capacity` outstanding PRs
+    /// whose idxs all lie in `[0, domain)`. Small domains (the workload's
+    /// column count) get a dense bitset, making the per-idx coalescing
+    /// probe a single word test; oversized domains fall back to the
+    /// sorted backing of [`PendingTable::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn for_domain(capacity: usize, domain: u32) -> Self {
+        assert!(capacity > 0, "pending table needs at least one entry");
+        if domain > DENSE_DOMAIN_LIMIT {
+            return Self::new(capacity);
+        }
+        PendingTable {
+            capacity,
+            len: 0,
+            peak: 0,
+            backing: Backing::Dense {
+                words: vec![0u64; (domain as usize).div_ceil(64)],
+            },
         }
     }
 
@@ -55,23 +108,29 @@ impl PendingTable {
 
     /// Current outstanding PRs.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether no PRs are outstanding.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Whether the table has no free entries (the unit must stall).
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.len >= self.capacity
     }
 
     /// Whether a PR for `idx` is outstanding (the coalescing probe).
     #[inline]
     pub fn contains(&self, idx: u32) -> bool {
-        self.entries.contains(&idx)
+        match &self.backing {
+            Backing::Dense { words } => {
+                let w = (idx >> 6) as usize;
+                w < words.len() && words[w] & (1u64 << (idx & 63)) != 0
+            }
+            Backing::Sorted { entries } => entries.binary_search(&idx).is_ok(),
+        }
     }
 
     /// Registers an outstanding PR for `idx`. Returns `false` (and does
@@ -81,14 +140,35 @@ impl PendingTable {
     ///
     /// Panics if `idx` is already present — the caller must coalesce
     /// duplicates before issuing, so a double insert is a model bug.
+    /// On a [`PendingTable::for_domain`] table, also panics if `idx` lies
+    /// outside the declared domain.
     #[inline]
     pub fn insert(&mut self, idx: u32) -> bool {
         if self.is_full() {
             return false;
         }
-        let fresh = self.entries.insert(idx);
-        assert!(fresh, "idx {idx} already outstanding; caller must coalesce");
-        self.peak = self.peak.max(self.entries.len());
+        match &mut self.backing {
+            Backing::Dense { words } => {
+                let w = (idx >> 6) as usize;
+                let bit = 1u64 << (idx & 63);
+                assert!(w < words.len(), "idx {idx} outside the declared domain");
+                assert!(
+                    words[w] & bit == 0,
+                    "idx {idx} already outstanding; caller must coalesce"
+                );
+                words[w] |= bit;
+            }
+            Backing::Sorted { entries } => {
+                let pos = match entries.binary_search(&idx) {
+                    // simaudit:allow(no-lib-panic): double insert is a model bug, same contract as before
+                    Ok(_) => panic!("idx {idx} already outstanding; caller must coalesce"),
+                    Err(pos) => pos,
+                };
+                entries.insert(pos, idx);
+            }
+        }
+        self.len += 1;
+        self.peak = self.peak.max(self.len);
         true
     }
 
@@ -100,8 +180,25 @@ impl PendingTable {
     /// request is a protocol violation.
     #[inline]
     pub fn remove(&mut self, idx: u32) {
-        let was = self.entries.remove(&idx);
-        assert!(was, "response for idx {idx} that was never outstanding");
+        match &mut self.backing {
+            Backing::Dense { words } => {
+                let w = (idx >> 6) as usize;
+                let bit = 1u64 << (idx & 63);
+                assert!(
+                    w < words.len() && words[w] & bit != 0,
+                    "response for idx {idx} that was never outstanding"
+                );
+                words[w] &= !bit;
+            }
+            Backing::Sorted { entries } => {
+                let pos = entries.binary_search(&idx).unwrap_or_else(|_| {
+                    // simaudit:allow(no-lib-panic): orphan response is a protocol violation, same contract as before
+                    panic!("response for idx {idx} that was never outstanding")
+                });
+                entries.remove(pos);
+            }
+        }
+        self.len -= 1;
     }
 
     /// Highest simultaneous occupancy observed.
@@ -112,7 +209,14 @@ impl PendingTable {
     /// Forgets every outstanding entry (watchdog recovery, §7.1: the
     /// failed RIG operation's in-flight PRs are abandoned).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        if self.len == 0 {
+            return;
+        }
+        match &mut self.backing {
+            Backing::Dense { words } => words.fill(0),
+            Backing::Sorted { entries } => entries.clear(),
+        }
+        self.len = 0;
     }
 }
 
@@ -120,37 +224,57 @@ impl PendingTable {
 mod tests {
     use super::*;
 
+    /// Every behavioral test runs against both backings: the dense bitset
+    /// and the sorted fallback must be indistinguishable through the API.
+    fn both(f: impl Fn(PendingTable)) {
+        f(PendingTable::new(3));
+        f(PendingTable::for_domain(3, 1 << 16));
+    }
+
     #[test]
     fn fills_and_frees() {
-        let mut t = PendingTable::new(3);
-        for i in 0..3 {
-            assert!(t.insert(i));
-        }
-        assert!(t.is_full());
-        assert!(!t.insert(99));
-        t.remove(1);
-        assert!(!t.is_full());
-        assert!(t.insert(99));
-        assert_eq!(t.peak(), 3);
+        both(|mut t| {
+            for i in 0..3 {
+                assert!(t.insert(i));
+            }
+            assert!(t.is_full());
+            assert!(!t.insert(99));
+            t.remove(1);
+            assert!(!t.is_full());
+            assert!(t.insert(99));
+            assert_eq!(t.peak(), 3);
+        });
     }
 
     #[test]
     fn contains_tracks_outstanding_only() {
-        let mut t = PendingTable::new(4);
-        t.insert(7);
-        assert!(t.contains(7));
-        t.remove(7);
-        assert!(!t.contains(7));
+        both(|mut t| {
+            t.insert(7);
+            assert!(t.contains(7));
+            t.remove(7);
+            assert!(!t.contains(7));
+        });
     }
 
     #[test]
     fn clear_forgets_everything() {
-        let mut t = PendingTable::new(2);
-        t.insert(1);
-        t.insert(2);
-        t.clear();
+        both(|mut t| {
+            t.insert(1);
+            t.insert(2);
+            t.clear();
+            assert!(t.is_empty());
+            assert!(t.insert(1));
+        });
+    }
+
+    #[test]
+    fn oversized_domain_falls_back_to_sorted() {
+        // u32::MAX exceeds the dense limit; arbitrary idxs must still work.
+        let mut t = PendingTable::for_domain(4, u32::MAX);
+        assert!(t.insert(u32::MAX - 1));
+        assert!(t.contains(u32::MAX - 1));
+        t.remove(u32::MAX - 1);
         assert!(t.is_empty());
-        assert!(t.insert(1));
     }
 
     #[test]
@@ -162,9 +286,29 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "already outstanding")]
+    fn double_insert_is_a_bug_dense() {
+        let mut t = PendingTable::for_domain(4, 64);
+        t.insert(7);
+        t.insert(7);
+    }
+
+    #[test]
     #[should_panic(expected = "never outstanding")]
     fn orphan_response_is_a_bug() {
         PendingTable::new(4).remove(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never outstanding")]
+    fn orphan_response_is_a_bug_dense() {
+        PendingTable::for_domain(4, 64).remove(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the declared domain")]
+    fn dense_rejects_out_of_domain_insert() {
+        PendingTable::for_domain(4, 64).insert(64);
     }
 
     #[test]

@@ -38,6 +38,28 @@ impl ConcatPoint {
         ConcatPoint::Virtual(VirtualConcatenator::new(cfg, pool))
     }
 
+    /// Pushes one PR toward `dest`, handing any packets sealed by the push
+    /// (an MTU fill, or a displaced queue in the virtual implementation)
+    /// to `sink`. This is the zero-allocation event-path entry point.
+    pub fn push_with(
+        &mut self,
+        now: SimTime,
+        dest: u32,
+        kind: PrKind,
+        pr: Pr,
+        payload: u32,
+        mut sink: impl FnMut(ConcatPacket),
+    ) {
+        match self {
+            ConcatPoint::Dedicated(c) => {
+                if let Some(p) = c.push(now, dest, kind, pr, payload) {
+                    sink(p);
+                }
+            }
+            ConcatPoint::Virtual(c) => c.push_with(now, dest, kind, pr, payload, sink),
+        }
+    }
+
     /// Pushes one PR toward `dest`; returns any packets sealed by the push
     /// (an MTU fill, or a displaced queue in the virtual implementation).
     pub fn push(
@@ -48,10 +70,17 @@ impl ConcatPoint {
         pr: Pr,
         payload: u32,
     ) -> Vec<ConcatPacket> {
+        let mut out = Vec::new(); // simaudit:allow(no-hot-alloc): convenience wrapper for tests and doctests; the event path uses push_with
+        self.push_with(now, dest, kind, pr, payload, |p| out.push(p));
+        out
+    }
+
+    /// Donates an emptied `prs` vector back to the implementation's spare
+    /// pool so the next sealed packet reuses the allocation.
+    pub fn recycle(&mut self, prs: Vec<Pr>) {
         match self {
-            // simaudit:allow(no-hot-alloc): adapter normalizes Option into the shared Vec return shape
-            ConcatPoint::Dedicated(c) => c.push(now, dest, kind, pr, payload).into_iter().collect(),
-            ConcatPoint::Virtual(c) => c.push(now, dest, kind, pr, payload),
+            ConcatPoint::Dedicated(c) => c.recycle(prs),
+            ConcatPoint::Virtual(c) => c.recycle(prs),
         }
     }
 
@@ -63,12 +92,21 @@ impl ConcatPoint {
         }
     }
 
+    /// Seals every queue whose delay budget has expired, handing each
+    /// packet to `sink`. This is the zero-allocation event-path entry
+    /// point.
+    pub fn flush_expired_with(&mut self, now: SimTime, sink: impl FnMut(ConcatPacket)) {
+        match self {
+            ConcatPoint::Dedicated(c) => c.flush_expired_with(now, sink),
+            ConcatPoint::Virtual(c) => c.flush_expired_with(now, sink),
+        }
+    }
+
     /// Seals and returns every queue whose delay budget has expired.
     pub fn flush_expired(&mut self, now: SimTime) -> Vec<ConcatPacket> {
-        match self {
-            ConcatPoint::Dedicated(c) => c.flush_expired(now),
-            ConcatPoint::Virtual(c) => c.flush_expired(now),
-        }
+        let mut out = Vec::new(); // simaudit:allow(no-hot-alloc): convenience wrapper for tests and doctests; the event path uses flush_expired_with
+        self.flush_expired_with(now, |p| out.push(p));
+        out
     }
 
     /// Histogram of PRs per sealed packet.

@@ -87,12 +87,28 @@ pub struct RigClient {
 
 impl RigClient {
     /// Creates a client unit for `node`, thread id `tid`, with a pending
-    /// table of `pending_entries`.
+    /// table of `pending_entries` accepting arbitrary `u32` idxs.
     pub fn new(node: u32, tid: u16, pending_entries: usize) -> Self {
+        Self::build(node, tid, PendingTable::new(pending_entries))
+    }
+
+    /// Like [`RigClient::new`], but declares that every idx this unit will
+    /// ever see lies in `[0, idx_domain)` (the workload's column count),
+    /// letting the pending table use its dense-bitset backing
+    /// ([`PendingTable::for_domain`]) for O(1) coalescing probes.
+    pub fn with_idx_domain(node: u32, tid: u16, pending_entries: usize, idx_domain: u32) -> Self {
+        Self::build(
+            node,
+            tid,
+            PendingTable::for_domain(pending_entries, idx_domain),
+        )
+    }
+
+    fn build(node: u32, tid: u16, pending: PendingTable) -> Self {
         RigClient {
             node,
             tid,
-            pending: PendingTable::new(pending_entries),
+            pending,
             next_req_id: 0,
             stats: RigStats::default(),
             #[cfg(feature = "trace")]
@@ -149,6 +165,7 @@ impl RigClient {
     /// `filter_enabled` gate the two redundancy-elimination mechanisms
     /// (ablation Table 8 disables them independently). The shared
     /// `filter` belongs to the node's SNIC.
+    #[inline]
     pub fn process_idx(
         &mut self,
         idx: u32,
@@ -208,8 +225,19 @@ impl RigClient {
         })
     }
 
+    /// Bulk form of [`IdxOutcome::Local`]: credits `n` locally-served
+    /// idxs in one step. The driver consumes *runs* of local idxs (the
+    /// overwhelmingly common case under 1-D partitioning) without
+    /// entering the per-idx pipeline; each run idx still costs its one
+    /// scan cycle at the call site.
+    #[inline]
+    pub fn tally_local(&mut self, n: u64) {
+        self.stats.local += n;
+    }
+
     /// Handles the response for `idx`: clears the pending entry (if
     /// tracked) and sets the node's Idx Filter bit.
+    #[inline]
     pub fn complete(&mut self, idx: u32, filter: &mut IdxFilter) {
         if self.pending.contains(idx) {
             self.pending.remove(idx);

@@ -14,8 +14,6 @@
 //! virtual CQ needs a new physical CQ, and the pool is empty, the oldest
 //! virtual CQ is flushed early to free space.
 
-use std::collections::BTreeMap;
-
 use netsparse_desim::trace::FlushReason;
 #[cfg(feature = "trace")]
 use netsparse_desim::trace::{TraceEvent, Tracer, TrackId};
@@ -66,7 +64,33 @@ struct VirtualCq {
     last_touch: u64,
 }
 
+impl Default for VirtualCq {
+    fn default() -> Self {
+        VirtualCq {
+            prs: Vec::new(),
+            bytes: 0,
+            physical: 0,
+            payload_per_pr: 0,
+            first_enqueued: SimTime::ZERO,
+            last_touch: 0,
+        }
+    }
+}
+
+/// Retained emptied `prs` vectors, capped so pathological fan-out cannot
+/// hoard memory (same policy as [`crate::Concatenator`]).
+const SPARE_CAP: usize = 64;
+
 /// A concatenation point backed by a fixed physical-CQ pool.
+///
+/// Virtual CQs live in a dense slab indexed by `dest * 2 + kind`
+/// (destination ids are dense, `PrKind::Read < PrKind::Response`), so
+/// ascending-slot iteration reproduces the `(dest, kind)` order the
+/// former `BTreeMap` storage drained in — flush order, and therefore
+/// the event stream and audit digest, are unchanged. Emptied `prs`
+/// vectors are parked in a spare pool and reused on the next flush;
+/// callers that consume packets can donate the allocation back via
+/// [`VirtualConcatenator::recycle`].
 ///
 /// # Example
 ///
@@ -92,7 +116,8 @@ pub struct VirtualConcatenator {
     cfg: ConcatConfig,
     pool: VirtualCqConfig,
     free_physical: usize,
-    queues: BTreeMap<(u32, PrKind), VirtualCq>,
+    queues: Vec<VirtualCq>,
+    spare: Vec<Vec<Pr>>,
     touch: u64,
     prs_per_packet: Histogram,
     packets: u64,
@@ -117,7 +142,8 @@ impl VirtualConcatenator {
             cfg,
             pool,
             free_physical: pool.physical_queues,
-            queues: BTreeMap::new(),
+            queues: Vec::new(),
+            spare: Vec::new(),
             touch: 0,
             prs_per_packet: Histogram::new(),
             packets: 0,
@@ -161,60 +187,90 @@ impl VirtualConcatenator {
 
     /// Total PRs waiting.
     pub fn queued_prs(&self) -> usize {
-        self.queues.values().map(|q| q.prs.len()).sum()
+        self.queues.iter().map(|q| q.prs.len()).sum()
     }
 
-    /// Pushes a PR. May return several packets: the pushed CQ's own
-    /// MTU-full emission and/or a victim flushed under pool pressure.
+    /// Slab slot for a `(dest, kind)` pair.
+    fn slot(dest: u32, kind: PrKind) -> usize {
+        dest as usize * 2 + kind as usize
+    }
+
+    /// Inverse of [`Self::slot`].
+    fn unslot(slot: usize) -> (u32, PrKind) {
+        let kind = if slot.is_multiple_of(2) {
+            PrKind::Read
+        } else {
+            PrKind::Response
+        };
+        ((slot / 2) as u32, kind)
+    }
+
+    /// Pops a retained `prs` vector from the spare pool, or a fresh one.
+    fn take_spare(&mut self) -> Vec<Pr> {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    /// Donates an emptied `prs` vector back for reuse by later flushes.
+    pub fn recycle(&mut self, mut prs: Vec<Pr>) {
+        if self.spare.len() < SPARE_CAP {
+            prs.clear();
+            self.spare.push(prs);
+        }
+    }
+
+    /// Pushes a PR, handing every emitted packet to `sink`: the pushed
+    /// CQ's own MTU-full emission and/or a victim flushed under pool
+    /// pressure. This is the zero-allocation event-path entry point.
     ///
     /// # Panics
     ///
     /// Panics if `payload_bytes` differs from PRs already queued for the
     /// same `(dest, kind)`.
-    pub fn push(
+    pub fn push_with(
         &mut self,
         now: SimTime,
         dest: u32,
         kind: PrKind,
         pr: Pr,
         payload_bytes: u32,
-    ) -> Vec<ConcatPacket> {
+        mut sink: impl FnMut(ConcatPacket),
+    ) {
         if !self.cfg.enabled {
-            return vec![self.emit_prs(dest, kind, vec![pr], payload_bytes, FlushReason::Bypass)];
+            let mut prs = self.take_spare();
+            prs.push(pr);
+            sink(self.emit_prs(dest, kind, prs, payload_bytes, FlushReason::Bypass));
+            return;
         }
-        let mut out = Vec::new(); // simaudit:allow(no-hot-alloc): per-event output batch, slated for arena pooling
         let pr_bytes = self.cfg.headers.pr + payload_bytes;
         // A PR the whole pool cannot hold can never concatenate: bypass
         // the queues entirely (the dedicated design has the same escape —
         // `prs_per_mtu` never returns 0).
         if pr_bytes as u64 > self.pool.sram_bytes() {
-            out.push(self.emit_prs(dest, kind, vec![pr], payload_bytes, FlushReason::Bypass));
-            return out;
+            let mut prs = self.take_spare();
+            prs.push(pr);
+            sink(self.emit_prs(dest, kind, prs, payload_bytes, FlushReason::Bypass));
+            return;
         }
         self.touch += 1;
         let touch = self.touch;
+        let budget = self.mtu_budget();
+        let slot = Self::slot(dest, kind);
+        if slot >= self.queues.len() {
+            // Amortized: the slab grows once per destination, then stays.
+            self.queues.resize_with(slot + 1, VirtualCq::default);
+        }
 
         // MTU check first: would this PR overflow the virtual CQ?
-        let needs_flush = self
-            .queues
-            .get(&(dest, kind))
-            .is_some_and(|q| !q.prs.is_empty() && q.bytes + pr_bytes > self.mtu_budget());
-        if needs_flush {
-            if let Some(p) = self.flush_queue(dest, kind, FlushReason::Full) {
-                out.push(p);
+        let q = &self.queues[slot];
+        if !q.prs.is_empty() && q.bytes + pr_bytes > budget {
+            if let Some(p) = self.flush_slot(slot, FlushReason::Full) {
+                sink(p);
             }
         }
 
         // Does the CQ need another physical queue for this PR?
         loop {
-            let q = self.queues.entry((dest, kind)).or_insert(VirtualCq {
-                prs: Vec::new(), // simaudit:allow(no-hot-alloc): CQ storage created once per destination, then reused
-                bytes: 0,
-                physical: 0,
-                payload_per_pr: payload_bytes,
-                first_enqueued: now,
-                last_touch: touch,
-            });
+            let q = &mut self.queues[slot];
             if !q.prs.is_empty() {
                 assert_eq!(
                     q.payload_per_pr, payload_bytes,
@@ -234,33 +290,53 @@ impl VirtualConcatenator {
             }
             if self.free_physical > 0 {
                 self.free_physical -= 1;
-                if let Some(q) = self.queues.get_mut(&(dest, kind)) {
-                    q.physical += 1;
-                }
+                q.physical += 1;
                 continue;
             }
-            // Pool exhausted: evict the least recently touched other CQ.
+            // Pool exhausted: evict the least recently touched other CQ
+            // (`last_touch` values are unique, so the choice does not
+            // depend on iteration order).
             self.early_flushes += 1;
             let victim = self
                 .queues
                 .iter()
-                .filter(|(&k, q)| k != (dest, kind) && !q.prs.is_empty())
+                .enumerate()
+                .filter(|&(s, q)| s != slot && !q.prs.is_empty())
                 .min_by_key(|(_, q)| q.last_touch)
-                .map(|(&k, _)| k);
+                .map(|(s, _)| s);
             match victim {
-                Some((vd, vk)) => {
-                    if let Some(p) = self.flush_queue(vd, vk, FlushReason::Pressure) {
-                        out.push(p);
+                Some(v) => {
+                    if let Some(p) = self.flush_slot(v, FlushReason::Pressure) {
+                        sink(p);
                     }
                 }
                 None => {
                     // Nothing else holds physicals: flush ourselves.
-                    if let Some(p) = self.flush_queue(dest, kind, FlushReason::Pressure) {
-                        out.push(p);
+                    if let Some(p) = self.flush_slot(slot, FlushReason::Pressure) {
+                        sink(p);
                     }
                 }
             }
         }
+    }
+
+    /// Pushes a PR. May return several packets: the pushed CQ's own
+    /// MTU-full emission and/or a victim flushed under pool pressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload_bytes` differs from PRs already queued for the
+    /// same `(dest, kind)`.
+    pub fn push(
+        &mut self,
+        now: SimTime,
+        dest: u32,
+        kind: PrKind,
+        pr: Pr,
+        payload_bytes: u32,
+    ) -> Vec<ConcatPacket> {
+        let mut out = Vec::new(); // simaudit:allow(no-hot-alloc): convenience wrapper for tests and doctests; the event path uses push_with
+        self.push_with(now, dest, kind, pr, payload_bytes, |p| out.push(p));
         out
     }
 
@@ -272,54 +348,67 @@ impl VirtualConcatenator {
     /// The earliest pending expiration, if any.
     pub fn next_expiry(&mut self) -> Option<SimTime> {
         self.queues
-            .values()
+            .iter()
             .filter(|q| !q.prs.is_empty())
             .map(|q| q.first_enqueued + self.cfg.delay)
             .min()
     }
 
+    /// Flushes every virtual CQ whose delay budget has expired, handing
+    /// each packet to `sink` in ascending `(dest, kind)` order.
+    pub fn flush_expired_with(&mut self, now: SimTime, mut sink: impl FnMut(ConcatPacket)) {
+        let delay = self.cfg.delay;
+        for slot in 0..self.queues.len() {
+            let q = &self.queues[slot];
+            if !q.prs.is_empty() && q.first_enqueued + delay <= now {
+                if let Some(p) = self.flush_slot(slot, FlushReason::Expired) {
+                    sink(p);
+                }
+            }
+        }
+    }
+
     /// Flushes every virtual CQ whose delay budget has expired.
     pub fn flush_expired(&mut self, now: SimTime) -> Vec<ConcatPacket> {
-        let expired: Vec<(u32, PrKind)> = self
-            .queues
-            .iter()
-            .filter(|(_, q)| !q.prs.is_empty() && q.first_enqueued + self.cfg.delay <= now)
-            .map(|(&k, _)| k)
-            .collect(); // simaudit:allow(no-hot-alloc): flush key list slated for arena pooling
-        expired
-            .into_iter()
-            .filter_map(|(d, k)| self.flush_queue(d, k, FlushReason::Expired))
-            .collect() // simaudit:allow(no-hot-alloc): flushed packet batch slated for arena pooling
+        let mut out = Vec::new(); // simaudit:allow(no-hot-alloc): convenience wrapper for tests and doctests; the event path uses flush_expired_with
+        self.flush_expired_with(now, |p| out.push(p));
+        out
+    }
+
+    /// Flushes everything (drain at kernel end), handing each packet to
+    /// `sink` in ascending `(dest, kind)` order.
+    pub fn flush_all_with(&mut self, mut sink: impl FnMut(ConcatPacket)) {
+        for slot in 0..self.queues.len() {
+            if let Some(p) = self.flush_slot(slot, FlushReason::Drained) {
+                sink(p);
+            }
+        }
     }
 
     /// Flushes everything (drain at kernel end).
     pub fn flush_all(&mut self) -> Vec<ConcatPacket> {
-        let keys: Vec<(u32, PrKind)> = self
-            .queues
-            .iter()
-            .filter(|(_, q)| !q.prs.is_empty())
-            .map(|(&k, _)| k)
-            .collect(); // simaudit:allow(no-hot-alloc): flush key list slated for arena pooling
-        keys.into_iter()
-            .filter_map(|(d, k)| self.flush_queue(d, k, FlushReason::Drained))
-            .collect() // simaudit:allow(no-hot-alloc): flushed packet batch slated for arena pooling
+        let mut out = Vec::new(); // simaudit:allow(no-hot-alloc): convenience wrapper for tests and doctests; the event path uses flush_all_with
+        self.flush_all_with(|p| out.push(p));
+        out
     }
 
-    fn flush_queue(
-        &mut self,
-        dest: u32,
-        kind: PrKind,
-        reason: FlushReason,
-    ) -> Option<ConcatPacket> {
-        let q = self.queues.get_mut(&(dest, kind))?;
+    fn flush_slot(&mut self, slot: usize, reason: FlushReason) -> Option<ConcatPacket> {
+        let VirtualConcatenator {
+            queues,
+            spare,
+            free_physical,
+            ..
+        } = self;
+        let q = queues.get_mut(slot)?;
         if q.prs.is_empty() {
             return None;
         }
-        let prs = std::mem::take(&mut q.prs);
+        let prs = std::mem::replace(&mut q.prs, spare.pop().unwrap_or_default());
         let payload = q.payload_per_pr;
-        self.free_physical += q.physical;
+        *free_physical += q.physical;
         q.physical = 0;
         q.bytes = 0;
+        let (dest, kind) = Self::unslot(slot);
         Some(self.emit_prs(dest, kind, prs, payload, reason))
     }
 

@@ -122,15 +122,11 @@ impl Partition1D {
     #[inline]
     pub fn owner(&self, idx: u32) -> u32 {
         assert!(idx < self.n, "index {idx} out of partitioned range");
-        // binary search over bounds: find the part whose range contains idx.
-        match self.bounds.binary_search(&idx) {
-            // idx equals bounds[i]: element idx starts part i, unless that
-            // part is empty — partition_point below handles both uniformly.
-            Ok(_) | Err(_) => {
-                let i = self.bounds.partition_point(|&b| b <= idx);
-                (i - 1) as u32
-            }
-        }
+        // One binary search over bounds: the part whose range contains idx
+        // is the one before the first bound strictly greater than it
+        // (empty parts share a bound and are skipped uniformly).
+        let i = self.bounds.partition_point(|&b| b <= idx);
+        (i - 1) as u32
     }
 
     /// The half-open element range owned by `part`.

@@ -275,8 +275,20 @@ impl PropertyCache {
     fn set_of(&self, idx: u32) -> usize {
         // Low bits above the segment field index the set; a multiplicative
         // scramble avoids pathological striding from 1-D partitions.
-        let above = (idx / self.cfg.n_segments) as u64;
-        ((above.wrapping_mul(0x9E37_79B9)) % self.sets as u64) as usize
+        let segs = self.cfg.n_segments;
+        let above = if segs.is_power_of_two() {
+            (idx >> segs.trailing_zeros()) as u64
+        } else {
+            (idx / segs) as u64
+        };
+        let scrambled = above.wrapping_mul(0x9E37_79B9);
+        // Same reduction either way; power-of-two set counts (every paper
+        // geometry) skip the hardware divide on this per-PR path.
+        if self.sets.is_power_of_two() {
+            (scrambled as usize) & (self.sets - 1)
+        } else {
+            (scrambled % self.sets as u64) as usize
+        }
     }
 
     fn set_lines(&mut self, set: usize) -> &mut [Line] {

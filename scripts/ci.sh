@@ -17,7 +17,9 @@
 # ext_trace extension experiments, the serial-vs-parallel sweep
 # equivalence suite, a timed `repro_all --parallel` smoke via
 # `bench_sweep`, which emits BENCH_sweep.json with serial vs parallel
-# wall-clock (see docs/ARCHITECTURE.md), and a 50-seed chaoscheck smoke
+# wall-clock (see docs/ARCHITECTURE.md), a timed `bench_engine` smoke
+# gating events/sec against the committed BENCH_engine.json (>20%
+# regression fails), and a 50-seed chaoscheck smoke
 # plus shrinker demo emitting the CHAOS_report.json artifact (see
 # docs/FAULTS.md §Chaos testing).
 set -euo pipefail
@@ -51,6 +53,10 @@ if [[ "$fast" -eq 0 ]]; then
     # Fault injection + recovery with the runtime invariant auditor on
     # in release mode (debug runs already audit via debug_assertions).
     run cargo test -q -p netsparse-tests --features audit --release --test fault_recovery
+    # Calendar-queue vs reference-heap engine equivalence with the release
+    # auditor on: the digest comparison is only meaningful when the
+    # auditor is compiled in (debug runs cover it via debug_assertions).
+    run cargo test -q -p netsparse-tests --features audit --release --test engine_equivalence
     run cargo run --release -q -p netsparse-bench --bin ext_fault_sweep
     # Structured tracing: golden trace, trace-vs-metrics consistency,
     # exporter validity and the protocol property suite, with the tracer
@@ -65,6 +71,12 @@ if [[ "$fast" -eq 0 ]]; then
     # Timed serial-vs-parallel repro smoke: asserts byte-equality and
     # records both wall-clocks in BENCH_sweep.json.
     run cargo run --release -q -p netsparse-bench --bin bench_sweep -- --scale 0.1
+    # Engine-throughput smoke: re-measures events/sec on the canonical
+    # point, writes BENCH_engine.ci.json (archived like lint_report.json),
+    # and fails if throughput regressed >20% vs the committed
+    # BENCH_engine.json baseline.
+    run cargo run --release -q -p netsparse-bench --bin bench_engine -- \
+        --quick --check-against BENCH_engine.json
     # Chaos smoke: 50 seeded scenarios through the oracle suite with the
     # runtime auditor on. Exits non-zero on any oracle violation or
     # liveness stall; CHAOS_report.json is archived like lint_report.json.
