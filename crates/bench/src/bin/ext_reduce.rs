@@ -1,0 +1,5 @@
+//! Extension experiment: see `netsparse_bench::tables::ext_reduce`.
+fn main() {
+    let o = netsparse_bench::BenchOpts::from_args();
+    print!("{}", netsparse_bench::tables::ext_reduce(&o));
+}

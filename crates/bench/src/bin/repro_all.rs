@@ -100,6 +100,10 @@ fn main() {
             Box::new(move || netsparse_bench::tables::ext_partition(&o)),
         ),
         (
+            "Extension: in-network reduction",
+            Box::new(move || netsparse_bench::tables::ext_reduce(&o)),
+        ),
+        (
             "Extension: kernels (§2.1)",
             Box::new(move || netsparse_bench::tables::ext_kernels(&o)),
         ),

@@ -87,6 +87,11 @@ pub struct ChaosScenario {
     pub adaptive_batch: bool,
     /// The generated fault schedule.
     pub faults: FaultConfig,
+    /// In-network reduction configuration. Disabled outside the
+    /// reduce slice of the seed space (bit 32 clear), so the base seed
+    /// range produces byte-identical scenarios with or without the
+    /// extension compiled in.
+    pub reduce: ReduceConfig,
     /// Whether the oracle suite must insist on full delivery (true only
     /// when the fault mix cannot lose data).
     pub expect_delivery: bool,
@@ -126,6 +131,19 @@ pub struct Violation {
 
 const GEN_SALT: u64 = 0xC4A0_5C7E_11AA_55EE;
 
+/// Seeds with this bit set opt into the reduction slice of the seed
+/// space: scatter contributions flow, and roughly half the slice merges
+/// them in-network. Lives above the 32-bit range so every historical
+/// batch (seeds 0..N) is untouched.
+pub const REDUCE_SEED_BIT: u64 = 1 << 32;
+
+/// Salt for the *independent* generator that derives reduction
+/// parameters. Keeping it separate from [`GEN_SALT`]'s stream means the
+/// reduce fields consume no draws from the base generator, so a seed's
+/// topology/workload/fault schedule is identical whether or not the
+/// reduce bit is set.
+const REDUCE_SALT: u64 = 0x5EED_0FF5_B17E_CA5E;
+
 impl ChaosScenario {
     /// Derives a complete scenario from `seed`. Deterministic: the same
     /// seed always yields the same scenario, byte for byte. Roughly 1/8
@@ -133,7 +151,11 @@ impl ChaosScenario {
     /// watchdogs, out-of-range or nonexistent fault targets, degenerate
     /// clusters) to exercise the typed-rejection path.
     pub fn generate(seed: u64) -> ChaosScenario {
-        let mut rng = SplitMix64::new(seed ^ GEN_SALT);
+        // The base generator never sees the reduce bit: seed S and
+        // S | REDUCE_SEED_BIT are twins that differ only in the
+        // reduction config, so the reduce slice ablates the extension
+        // over the exact scenario population the base slice covers.
+        let mut rng = SplitMix64::new((seed & !REDUCE_SEED_BIT) ^ GEN_SALT);
 
         let (topology, rack_size) = match rng.next_range(3) {
             0 => {
@@ -252,6 +274,22 @@ impl ChaosScenario {
         };
         let expect_delivery = lossless && faults.failures.is_empty();
 
+        // The reduction slice: an independent generator so these draws
+        // cannot perturb the base scenario above.
+        let reduce = if seed & REDUCE_SEED_BIT != 0 {
+            let mut rrng = SplitMix64::new(seed ^ REDUCE_SALT);
+            let mut rc = if rrng.next_bool() {
+                ReduceConfig::in_network()
+            } else {
+                ReduceConfig::software_baseline()
+            };
+            rc.table_entries = [64usize, 256, 1024, 4096][rrng.next_range(4) as usize];
+            rc.flush_ns = rrng.range_u64(50, 400);
+            rc
+        } else {
+            ReduceConfig::disabled()
+        };
+
         // Poison ~1/8 of the seed space with configs that must be
         // *rejected* (typed SimError), never run and never crash.
         if seed % 8 == 3 {
@@ -298,6 +336,7 @@ impl ChaosScenario {
             virtual_cq,
             adaptive_batch,
             faults,
+            reduce,
             expect_delivery,
         }
     }
@@ -359,6 +398,7 @@ impl ChaosScenario {
                     },
                 ],
             },
+            reduce: ReduceConfig::disabled(),
             // The planted bug: a permanent ToR death cannot deliver.
             expect_delivery: true,
         }
@@ -393,6 +433,7 @@ impl ChaosScenario {
                 });
         }
         cfg.faults = self.faults.clone();
+        cfg.reduce = self.reduce;
         cfg.limits = SimLimits {
             max_events: Some(self.event_budget()),
             max_stagnant_events: Some(250_000),
@@ -622,6 +663,54 @@ pub fn check_report(sc: &ChaosScenario, r: &SimReport) -> Vec<Violation> {
         });
     }
 
+    // reduce-conservation: partial-sum contributions balance exactly —
+    // every issued contribution is delivered at its root or accounted
+    // for at a drop site, in count and in wrapping value sum — and the
+    // extension reports iff it is configured.
+    match (sc.reduce.enabled, r.reduce.as_ref()) {
+        (true, None) => v.push(Violation {
+            oracle: "reduce-conservation",
+            detail: "reduction enabled but no reduce report".to_string(),
+        }),
+        (false, Some(_)) => v.push(Violation {
+            oracle: "reduce-conservation",
+            detail: "reduction disabled but a reduce report exists".to_string(),
+        }),
+        (true, Some(rr)) => {
+            if !rr.conserved() {
+                v.push(Violation {
+                    oracle: "reduce-conservation",
+                    detail: format!(
+                        "contributions not conserved: issued {} != delivered {} + dropped {} \
+                         (values {} vs {} + {})",
+                        rr.contribs_issued,
+                        rr.contribs_delivered,
+                        rr.contribs_dropped,
+                        rr.value_issued,
+                        rr.value_delivered,
+                        rr.value_dropped
+                    ),
+                });
+            }
+            if !faults_on && rr.contribs_dropped != 0 {
+                v.push(Violation {
+                    oracle: "reduce-conservation",
+                    detail: format!(
+                        "fault-free run dropped {} contributions",
+                        rr.contribs_dropped
+                    ),
+                });
+            }
+            if !sc.reduce.in_network && rr.merges != 0 {
+                v.push(Violation {
+                    oracle: "reduce-conservation",
+                    detail: format!("software baseline folded {} PRs in-network", rr.merges),
+                });
+            }
+        }
+        (false, None) => {}
+    }
+
     // report-consistency: aggregates agree with each other.
     let max_finish = r.nodes.iter().map(|n| n.finish).max().unwrap_or_default();
     if r.comm_time != max_finish {
@@ -670,6 +759,8 @@ pub enum ShrinkOp {
     DropDegradation(usize),
     /// Turn packet loss off entirely.
     DisableLoss,
+    /// Turn the reduction extension off entirely.
+    DisableReduce,
     /// Halve the workload scale (floor 2‰).
     HalveScale,
     /// Halve the property size (floor 1).
@@ -683,6 +774,7 @@ impl ShrinkOp {
             ShrinkOp::DropFailure(i) => format!("drop-failure:{i}"),
             ShrinkOp::DropDegradation(i) => format!("drop-degradation:{i}"),
             ShrinkOp::DisableLoss => "disable-loss".to_string(),
+            ShrinkOp::DisableReduce => "disable-reduce".to_string(),
             ShrinkOp::HalveScale => "halve-scale".to_string(),
             ShrinkOp::HalveK => "halve-k".to_string(),
         }
@@ -698,6 +790,7 @@ impl ShrinkOp {
         }
         match name {
             "disable-loss" => Some(ShrinkOp::DisableLoss),
+            "disable-reduce" => Some(ShrinkOp::DisableReduce),
             "halve-scale" => Some(ShrinkOp::HalveScale),
             "halve-k" => Some(ShrinkOp::HalveK),
             _ => None,
@@ -727,6 +820,13 @@ impl ShrinkOp {
                     return false;
                 }
                 sc.faults.loss = LossModel::None;
+                true
+            }
+            ShrinkOp::DisableReduce => {
+                if !sc.reduce.enabled {
+                    return false;
+                }
+                sc.reduce = ReduceConfig::disabled();
                 true
             }
             ShrinkOp::HalveScale => {
@@ -771,6 +871,7 @@ pub fn shrink(sc: &ChaosScenario, oracle: &str) -> (ChaosScenario, Vec<ShrinkOp>
             candidates.push(ShrinkOp::DropDegradation(i));
         }
         candidates.push(ShrinkOp::DisableLoss);
+        candidates.push(ShrinkOp::DisableReduce);
         candidates.push(ShrinkOp::HalveScale);
         candidates.push(ShrinkOp::HalveK);
 
@@ -1151,6 +1252,7 @@ mod tests {
             ShrinkOp::DropFailure(3),
             ShrinkOp::DropDegradation(0),
             ShrinkOp::DisableLoss,
+            ShrinkOp::DisableReduce,
             ShrinkOp::HalveScale,
             ShrinkOp::HalveK,
         ] {
@@ -1174,6 +1276,35 @@ mod tests {
         // An empty op list parses back as empty.
         let json = write_repro(&sc, "delivery", &[]);
         assert!(parse_repro(&json).unwrap().ops.is_empty());
+    }
+
+    #[test]
+    fn reduce_bit_yields_a_twin_scenario() {
+        // Seed S and S | REDUCE_SEED_BIT must differ only in source and
+        // reduce config: the reduce slice is an ablation over the exact
+        // scenario population of the base slice.
+        for s in [0u64, 1, 2, 42] {
+            let base = ChaosScenario::generate(s);
+            let twin = ChaosScenario::generate(s | REDUCE_SEED_BIT);
+            assert!(!base.reduce.enabled, "base slice keeps reduction off");
+            assert!(
+                twin.reduce.enabled,
+                "reduce slice always flows contributions"
+            );
+            let mut twin_cmp = twin.clone();
+            twin_cmp.source = base.source.clone();
+            twin_cmp.reduce = base.reduce;
+            assert_eq!(format!("{base:?}"), format!("{twin_cmp:?}"));
+        }
+        // The slice mixes both transports.
+        let transports: Vec<bool> = (0..16)
+            .map(|s| {
+                ChaosScenario::generate(s | REDUCE_SEED_BIT)
+                    .reduce
+                    .in_network
+            })
+            .collect();
+        assert!(transports.iter().any(|&t| t) && transports.iter().any(|&t| !t));
     }
 
     #[test]

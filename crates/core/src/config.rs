@@ -578,6 +578,70 @@ impl SimLimits {
     }
 }
 
+/// The in-network reduction extension (the scatter-side dual of the
+/// paper's gather mechanisms, after SwitchML/Flare — see PAPERS.md).
+///
+/// When `enabled`, every issued read PR also emits one partial-sum
+/// *contribution* PR ([`netsparse_snic::PrKind::Partial`]) toward the
+/// owner of its output row, modeling the scatter half of SpMM. When
+/// `in_network` is additionally set, edge switches run a `Reduce` pipeline
+/// handler that merges contributions per row in a bounded partial-sum
+/// table before forwarding, cutting the bytes arriving at each root.
+/// Comparing `in_network` on vs off at fixed `enabled` isolates the
+/// mechanism's saving; `enabled: false` (the default everywhere) produces
+/// zero Partial traffic and leaves every existing scenario byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReduceConfig {
+    /// Whether scatter contributions flow at all.
+    pub enabled: bool,
+    /// Whether edge switches merge contributions in-network (off =
+    /// contributions travel to the root unmerged, the software baseline).
+    pub in_network: bool,
+    /// Partial-sum table capacity per switch, in entries (rows).
+    pub table_entries: usize,
+    /// Aggregation window per table entry, nanoseconds: how long a row
+    /// waits for more contributions before the merged PR moves on.
+    pub flush_ns: u64,
+}
+
+impl ReduceConfig {
+    /// Reduction off — the default; no Partial traffic exists.
+    pub fn disabled() -> Self {
+        ReduceConfig {
+            enabled: false,
+            in_network: false,
+            table_entries: 0,
+            flush_ns: 0,
+        }
+    }
+
+    /// Contributions flow and switches merge them (the mechanism under
+    /// test), with a table/window sized for the mini profile.
+    pub fn in_network() -> Self {
+        ReduceConfig {
+            enabled: true,
+            in_network: true,
+            table_entries: 4096,
+            flush_ns: 200,
+        }
+    }
+
+    /// Contributions flow but switches only forward — the software
+    /// baseline the in-network variant is compared against.
+    pub fn software_baseline() -> Self {
+        ReduceConfig {
+            in_network: false,
+            ..ReduceConfig::in_network()
+        }
+    }
+}
+
+impl Default for ReduceConfig {
+    fn default() -> Self {
+        ReduceConfig::disabled()
+    }
+}
+
 /// Full configuration of a simulated cluster.
 ///
 /// Two profiles are provided:
@@ -624,6 +688,9 @@ pub struct ClusterConfig {
     pub adaptive_batch: bool,
     /// Concatenator implementation (dedicated CQs vs §7.2 virtual CQs).
     pub concat_impl: ConcatImpl,
+    /// In-network reduction extension; defaults to disabled (no Partial
+    /// traffic, byte-identical to the pre-extension simulator).
+    pub reduce: ReduceConfig,
     /// Fault injection (§7.1); defaults to lossless.
     pub faults: FaultConfig,
     /// Liveness limits for [`try_simulate`](crate::sim::try_simulate);
@@ -648,6 +715,7 @@ impl ClusterConfig {
             host_cmd_ns: 300,
             adaptive_batch: false,
             concat_impl: ConcatImpl::Dedicated,
+            reduce: ReduceConfig::disabled(),
             faults: FaultConfig::none(),
             limits: SimLimits::none(),
         }
@@ -717,6 +785,11 @@ impl ClusterConfig {
         }
         if self.batch_size == 0 {
             return Err(ConfigError::DegenerateCluster { what: "batch_size" });
+        }
+        if self.reduce.enabled && self.reduce.in_network && self.reduce.table_entries == 0 {
+            return Err(ConfigError::DegenerateCluster {
+                what: "reduce.table_entries",
+            });
         }
         self.faults.validate_against(&self.topology)
     }
@@ -867,6 +940,26 @@ mod tests {
             cfg.validate(),
             Err(ConfigError::DegenerateCluster { what: "k" })
         ));
+    }
+
+    #[test]
+    fn reduce_config_validates() {
+        let mut cfg = ClusterConfig::mini(Topology::leaf_spine_128(), 16);
+        assert_eq!(cfg.reduce, ReduceConfig::disabled());
+        cfg.reduce = ReduceConfig::in_network();
+        cfg.validate().unwrap();
+        // In-network merging with a zero-entry table is degenerate...
+        cfg.reduce.table_entries = 0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::DegenerateCluster {
+                what: "reduce.table_entries"
+            })
+        ));
+        // ...but the software baseline never touches the table.
+        cfg.reduce = ReduceConfig::software_baseline();
+        cfg.reduce.table_entries = 0;
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -46,8 +46,8 @@ pub mod experiments;
 pub mod metrics;
 pub mod sim;
 
-pub use config::{ClusterConfig, Mechanisms, SimLimits};
-pub use metrics::SimReport;
+pub use config::{ClusterConfig, Mechanisms, ReduceConfig, SimLimits};
+pub use metrics::{ReduceReport, SimReport};
 pub use sim::{simulate, try_simulate, try_simulate_reference, SimError};
 #[cfg(feature = "trace")]
 pub use sim::{simulate_traced, try_simulate_traced};
@@ -55,9 +55,9 @@ pub use sim::{simulate_traced, try_simulate_traced};
 /// One-stop imports for examples and benches.
 pub mod prelude {
     pub use crate::baselines::{Baselines, CommComparison};
-    pub use crate::config::{ClusterConfig, Mechanisms, SimLimits};
+    pub use crate::config::{ClusterConfig, Mechanisms, ReduceConfig, SimLimits};
     pub use crate::experiments;
-    pub use crate::metrics::SimReport;
+    pub use crate::metrics::{ReduceReport, SimReport};
     pub use crate::sim::{simulate, try_simulate, SimError};
     pub use netsparse_accel::{ComputeEngine, ComputeModel, SaOptModel, SuOptModel};
     pub use netsparse_netsim::Topology;

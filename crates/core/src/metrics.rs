@@ -109,6 +109,45 @@ impl FaultReport {
     }
 }
 
+/// What the in-network reduction extension observed in one run —
+/// populated only when `ClusterConfig::reduce.enabled` is set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReduceReport {
+    /// Partial-sum contributions issued by nodes (one per issued read PR).
+    pub contribs_issued: u64,
+    /// Original contributions that reached their root (counted through
+    /// merged PRs' fold counts).
+    pub contribs_delivered: u64,
+    /// Original contributions lost in flight (fault runs only), counted at
+    /// the drop site through each dropped PR's fold count.
+    pub contribs_dropped: u64,
+    /// Wrapping sum of issued contribution values.
+    pub value_issued: u32,
+    /// Wrapping sum of delivered contribution values at the roots.
+    pub value_delivered: u32,
+    /// Wrapping sum of dropped contribution values.
+    pub value_dropped: u32,
+    /// Contributions folded into existing partial-sum table entries — each
+    /// one is a PR that stopped traveling at a switch.
+    pub merges: u64,
+    /// Contributions forwarded unmerged because a table was full (or a
+    /// fold would overflow the PR-layer count field).
+    pub bypassed: u64,
+    /// Partial PRs that arrived at root NICs (merged or not).
+    pub partial_prs_at_root: u64,
+    /// Wire bytes of Partial-carrying packets received on root downlinks.
+    pub root_wire_bytes: u64,
+}
+
+impl ReduceReport {
+    /// Exact conservation check: every issued contribution is delivered or
+    /// accounted for at a drop site, and values match wrappingly.
+    pub fn conserved(&self) -> bool {
+        self.contribs_issued == self.contribs_delivered + self.contribs_dropped
+            && self.value_issued == self.value_delivered.wrapping_add(self.value_dropped)
+    }
+}
+
 /// The full result of one cluster simulation.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -149,6 +188,9 @@ pub struct SimReport {
     pub audit_digest: Option<u64>,
     /// Fault-injection observations; `None` when the run was fault-free.
     pub faults: Option<FaultReport>,
+    /// In-network reduction observations; `None` when the extension is
+    /// disabled (every pre-extension scenario).
+    pub reduce: Option<ReduceReport>,
     /// Structured trace capture (`simulate_traced`); `None` for untraced
     /// runs. Only present when the `trace` feature is enabled.
     #[cfg(feature = "trace")]
@@ -302,6 +344,17 @@ impl fmt::Display for SimReport {
         } else if self.dropped_packets > 0 {
             writeln!(f, "faults: {} packets dropped", self.dropped_packets)?;
         }
+        if let Some(rr) = &self.reduce {
+            writeln!(
+                f,
+                "reduction: {} contribs, {} merged in-network ({} bypassed), {} PRs / {} B at roots",
+                rr.contribs_issued,
+                rr.merges,
+                rr.bypassed,
+                rr.partial_prs_at_root,
+                rr.root_wire_bytes
+            )?;
+        }
         #[cfg(feature = "trace")]
         if let Some(tr) = &self.trace {
             writeln!(
@@ -358,6 +411,7 @@ mod tests {
             hot_links: Vec::new(),
             audit_digest: None,
             faults: None,
+            reduce: None,
             #[cfg(feature = "trace")]
             trace: None,
         }
@@ -415,6 +469,31 @@ mod tests {
         assert!(text.contains("degraded mode: 1 nodes"), "{text}");
         assert!(text.contains("warning: watchdog"), "{text}");
         assert_eq!(r.faults.as_ref().unwrap().total_dropped(), 10);
+    }
+
+    #[test]
+    fn reduce_report_conservation_and_display() {
+        let mut r = report();
+        let mut rr = ReduceReport {
+            contribs_issued: 10,
+            contribs_delivered: 9,
+            contribs_dropped: 1,
+            value_issued: 5u32.wrapping_add(u32::MAX),
+            value_delivered: u32::MAX,
+            value_dropped: 5,
+            merges: 6,
+            bypassed: 1,
+            partial_prs_at_root: 3,
+            root_wire_bytes: 512,
+        };
+        assert!(rr.conserved());
+        rr.contribs_dropped = 0;
+        assert!(!rr.conserved());
+        rr.contribs_dropped = 1;
+        r.reduce = Some(rr);
+        let text = r.to_string();
+        assert!(text.contains("reduction: 10 contribs, 6 merged"), "{text}");
+        assert!(text.contains("512 B at roots"), "{text}");
     }
 
     #[test]

@@ -21,13 +21,14 @@ use netsparse_desim::{
     Engine, Histogram, Liveness, LossProcess, Reservoir, Scheduler, SimTime, SplitMix64,
 };
 use netsparse_netsim::Element;
+use netsparse_snic::{ConcatPacket, PrKind};
 use netsparse_sparse::CommWorkload;
 
 #[cfg(feature = "trace")]
 use netsparse_desim::trace::{lane, TraceConfig, TraceEvent, TraceReport, Tracer, TrackId};
 
 use crate::config::ClusterConfig;
-use crate::metrics::{FaultReport, HotLink, NodeReport, SimReport};
+use crate::metrics::{FaultReport, HotLink, NodeReport, ReduceReport, SimReport};
 use crate::sim::error::SimError;
 use crate::sim::events::{Event, FaultAction, Port};
 use crate::sim::fabric::Fabric;
@@ -58,8 +59,6 @@ pub(crate) struct Ctx<'r, 'w, 'q> {
 pub(crate) struct Shared {
     /// Property payload bytes (`k * 4`).
     pub(crate) payload: u32,
-    /// Property-Cache probe latency (edge switches).
-    pub(crate) cache_lat: SimTime,
     /// Baseline switch traversal latency.
     pub(crate) switch_lat: SimTime,
     /// One-way PCIe latency.
@@ -72,6 +71,9 @@ pub(crate) struct Shared {
     pub(crate) jitter_rng: SplitMix64,
     /// Fault/recovery accounting, folded into the report.
     pub(crate) faults: FaultReport,
+    /// Reduction conservation counters (contributions issued, delivered at
+    /// roots, dropped by faults), folded into the report's `ReduceReport`.
+    pub(crate) reduce: ReduceCounters,
     /// Reservoir sample of PR round-trip latencies (ps).
     pub(crate) pr_latency: Reservoir,
     /// Model-level conservation ledger ("pr" issued/resolved/abandoned).
@@ -87,15 +89,13 @@ impl Shared {
     pub(crate) fn new(cfg: &ClusterConfig) -> Self {
         Shared {
             payload: cfg.payload_bytes(),
-            cache_lat: cfg
-                .switch_clock()
-                .cycles(cfg.switch.cache.latency_cycles as u64),
             switch_lat: cfg.switch_latency(),
             pcie_lat: cfg.pcie_latency(),
             loss: LossProcess::new(cfg.faults.loss, cfg.faults.seed ^ 0x10DD_F00D),
             loss_active: cfg.faults.loss.is_lossy(),
             jitter_rng: SplitMix64::new(cfg.faults.seed ^ 0x0BAC_C0FF),
             faults: FaultReport::default(),
+            reduce: ReduceCounters::default(),
             pr_latency: Reservoir::new(4_096, 0x01A7_E0C1),
             #[cfg(any(debug_assertions, feature = "audit"))]
             audit: netsparse_desim::Auditor::new(),
@@ -112,6 +112,35 @@ impl Shared {
             tr.record(track, event);
         }
     }
+
+    /// Closes the reduction conservation ledger for a dropped packet: any
+    /// Partial contributions it carried are counted as dropped (so
+    /// `issued == delivered + dropped` holds under faults too).
+    #[inline]
+    pub(crate) fn account_partial_drop(&mut self, pkt: &ConcatPacket) {
+        if pkt.kind != PrKind::Partial {
+            return;
+        }
+        for pr in &pkt.prs {
+            self.reduce.contribs_dropped += pr.partial_contribs();
+            self.reduce.value_dropped = self.reduce.value_dropped.wrapping_add(pr.partial_value());
+        }
+    }
+}
+
+/// Running reduction-conservation counters: contribution counts and
+/// wrapping value sums at issue, delivery (root NICs) and drop sites, plus
+/// root-side traffic totals. Folded into [`ReduceReport`] at report time.
+#[derive(Debug, Default)]
+pub(crate) struct ReduceCounters {
+    pub(crate) contribs_issued: u64,
+    pub(crate) contribs_delivered: u64,
+    pub(crate) contribs_dropped: u64,
+    pub(crate) value_issued: u32,
+    pub(crate) value_delivered: u32,
+    pub(crate) value_dropped: u32,
+    pub(crate) partial_prs_at_root: u64,
+    pub(crate) root_wire_bytes: u64,
 }
 
 /// The assembled cluster: components, fabric, shared state, and the
@@ -160,14 +189,18 @@ impl<'a> World<'a> {
             for u in &mut st.units {
                 u.rig.set_tracer(tracer.clone());
             }
-            st.concat
-                .set_tracer(tracer.clone(), TrackId::node(p, lane::CONCAT));
+            st.pipeline.set_tracer(
+                tracer,
+                TrackId::node(p, lane::CONCAT),
+                TrackId::node(p, lane::CACHE),
+            );
         }
         for st in &mut self.racks {
-            st.concat
-                .set_tracer(tracer.clone(), TrackId::switch(st.id, lane::CONCAT));
-            st.pipes
-                .set_tracer(tracer.clone(), TrackId::switch(st.id, lane::CACHE));
+            st.pipeline.set_tracer(
+                tracer,
+                TrackId::switch(st.id, lane::CONCAT),
+                TrackId::switch(st.id, lane::CACHE),
+            );
         }
         for (i, link) in self.fabric.links.iter_mut().enumerate() {
             link.set_tracer(tracer.clone(), TrackId::link(i as u32));
@@ -209,11 +242,13 @@ impl<'a> World<'a> {
     #[cfg(any(debug_assertions, feature = "audit"))]
     fn audit_end_of_run(&self, comm_end: SimTime) {
         for s in &self.racks {
-            s.pipes.check_invariants();
+            if let Some(p) = s.pipeline.pipes() {
+                p.check_invariants();
+            }
         }
         for n in &self.nodes {
             self.shared.audit.check(
-                n.concat.queued_prs() == 0,
+                n.pipeline.concat().queued_prs() == 0,
                 "NIC concatenators drained at end of run",
             );
             self.shared.audit.check(
@@ -223,8 +258,12 @@ impl<'a> World<'a> {
         }
         for s in &self.racks {
             self.shared.audit.check(
-                s.concat.queued_prs() == 0,
+                s.pipeline.concat().queued_prs() == 0,
                 "switch concatenators drained at end of run",
+            );
+            self.shared.audit.check(
+                s.pipeline.reduce_in_flight() == 0,
+                "reduce tables drained at end of run",
             );
         }
         if comm_end > SimTime::ZERO {
@@ -269,16 +308,40 @@ impl<'a> World<'a> {
         fr.degraded_nodes = self.nodes.iter().filter(|n| n.degraded_mode).count() as u64;
         let mut prs_per_packet = Histogram::new();
         for n in &self.nodes {
-            prs_per_packet.merge(n.concat.prs_per_packet());
+            prs_per_packet.merge(n.pipeline.concat().prs_per_packet());
         }
         let mut cache_lookups = 0;
         let mut cache_hits = 0;
+        let mut reduce_merges = 0;
+        let mut reduce_bypassed = 0;
         for s in &self.racks {
-            prs_per_packet.merge(s.concat.prs_per_packet());
-            let cs = s.pipes.stats();
-            cache_lookups += cs.lookups;
-            cache_hits += cs.hits;
+            prs_per_packet.merge(s.pipeline.concat().prs_per_packet());
+            if let Some(cs) = s.pipeline.pipes().map(|p| p.stats()) {
+                cache_lookups += cs.lookups;
+                cache_hits += cs.hits;
+            }
+            if let Some(rs) = s.pipeline.reduce_stats() {
+                reduce_merges += rs.merged;
+                reduce_bypassed += rs.bypassed;
+            }
         }
+        let reduce = if self.cfg.reduce.enabled {
+            let rc = &self.shared.reduce;
+            Some(ReduceReport {
+                contribs_issued: rc.contribs_issued,
+                contribs_delivered: rc.contribs_delivered,
+                contribs_dropped: rc.contribs_dropped,
+                value_issued: rc.value_issued,
+                value_delivered: rc.value_delivered,
+                value_dropped: rc.value_dropped,
+                merges: reduce_merges,
+                bypassed: reduce_bypassed,
+                partial_prs_at_root: rc.partial_prs_at_root,
+                root_wire_bytes: rc.root_wire_bytes,
+            })
+        } else {
+            None
+        };
         let total_link_bytes = self.fabric.links.iter().map(|l| l.bytes()).sum();
         let comm_end = self
             .nodes
@@ -406,6 +469,7 @@ impl<'a> World<'a> {
             hot_links,
             audit_digest,
             faults,
+            reduce,
             #[cfg(feature = "trace")]
             trace,
         }

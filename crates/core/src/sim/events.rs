@@ -32,6 +32,12 @@ pub(crate) enum Event {
         /// Target switch.
         switch: u32,
     },
+    /// The reduce table of `switch` has partial sums whose aggregation
+    /// window has closed.
+    ReduceExpire {
+        /// Target switch.
+        switch: u32,
+    },
     /// A packet arrives at `switch`.
     PacketAtSwitch {
         /// Target switch.
@@ -101,9 +107,9 @@ impl Event {
             | Event::NicConcatExpire { node }
             | Event::PacketAtNic { node, .. }
             | Event::Watchdog { node, .. } => Port::Node(node),
-            Event::PacketAtSwitch { switch, .. } | Event::SwitchConcatExpire { switch } => {
-                Port::Rack(switch)
-            }
+            Event::PacketAtSwitch { switch, .. }
+            | Event::SwitchConcatExpire { switch }
+            | Event::ReduceExpire { switch } => Port::Rack(switch),
             Event::FaultTransition { .. } => Port::Fabric,
         }
     }
@@ -134,6 +140,7 @@ mod tests {
             Event::SwitchConcatExpire { switch: 7 }.port(),
             Port::Rack(7)
         );
+        assert_eq!(Event::ReduceExpire { switch: 6 }.port(), Port::Rack(6));
         assert_eq!(
             Event::FaultTransition {
                 action: FaultAction::FailSwitch(SwitchId(0))

@@ -209,6 +209,7 @@ impl Fabric {
         sched.schedule_batch(batch.drain(..).filter_map(|(at, pkt)| {
             let Some((link, to)) = row[pkt.dest as usize] else {
                 shared.faults.dropped_dead += 1;
+                shared.account_partial_drop(&pkt);
                 #[cfg(feature = "trace")]
                 shared.trace(
                     TrackId::switch(sw, lane::FAULT),
@@ -221,6 +222,7 @@ impl Fabric {
             };
             if failures.link_dead(link) {
                 shared.faults.dropped_dead += 1;
+                shared.account_partial_drop(&pkt);
                 #[cfg(feature = "trace")]
                 shared.trace(
                     TrackId::switch(sw, lane::FAULT),
@@ -263,6 +265,7 @@ impl Fabric {
         // the watchdog recovers the PRs it carried.
         let Some((link, to)) = self.from_switch[sw as usize][pkt.dest as usize] else {
             shared.faults.dropped_dead += 1;
+            shared.account_partial_drop(&pkt);
             #[cfg(feature = "trace")]
             shared.trace(
                 TrackId::switch(sw, lane::FAULT),
@@ -275,6 +278,7 @@ impl Fabric {
         };
         if self.failures.link_dead(link) {
             shared.faults.dropped_dead += 1;
+            shared.account_partial_drop(&pkt);
             #[cfg(feature = "trace")]
             shared.trace(
                 TrackId::switch(sw, lane::FAULT),

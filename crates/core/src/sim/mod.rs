@@ -38,6 +38,9 @@
 //!   cross-node concatenation at ToRs, verbatim forwarding at spines;
 //! - `fabric` — the shared transport substrate: links, routing tables,
 //!   failover reconvergence;
+//! - `pipeline` — the pluggable handler pipeline NIC and middle-pipe
+//!   components drive generically: Property-Cache, in-network reduction
+//!   and concatenation as [`Handler`](pipeline::Handler) stages;
 //! - `driver` — the component wiring and the single generic event loop
 //!   behind [`simulate`] (and `simulate_traced` under the `trace`
 //!   feature), with auditing and tracing injected as feature-gated hooks.
@@ -47,6 +50,7 @@ mod error;
 mod events;
 mod fabric;
 mod node;
+mod pipeline;
 mod rack;
 
 pub use driver::{simulate, try_simulate, try_simulate_reference};

@@ -15,8 +15,9 @@
 
 use netsparse_desim::{Scheduler, SimTime};
 use netsparse_netsim::Link;
+use netsparse_snic::protocol::partial_contrib_value;
 use netsparse_snic::{
-    ConcatConfig, ConcatPacket, ConcatPoint, IdxFilter, IdxOutcome, PrKind, RigClient,
+    ConcatConfig, ConcatPacket, ConcatPoint, IdxFilter, IdxOutcome, Pr, PrKind, RigClient,
 };
 use netsparse_sparse::CommWorkload;
 
@@ -26,6 +27,7 @@ use netsparse_desim::trace::{lane, TraceEvent, TrackId};
 use crate::config::{ClusterConfig, ConcatImpl};
 use crate::sim::driver::{Component, Ctx};
 use crate::sim::events::Event;
+use crate::sim::pipeline::{Pipeline, PrCtx};
 
 /// Instantiates a concatenation point for the configured implementation.
 pub(crate) fn concat_point(cfg: ConcatConfig, implementation: ConcatImpl) -> ConcatPoint {
@@ -136,7 +138,8 @@ pub(crate) struct NodeState {
     pub(crate) id: u32,
     pub(crate) units: Vec<ClientUnit>,
     pub(crate) filter: IdxFilter,
-    pub(crate) concat: ConcatPoint,
+    /// The NIC egress handler pipeline (terminal concat stage only).
+    pub(crate) pipeline: Pipeline,
     pub(crate) concat_sched: Option<SimTime>,
     pub(crate) server_busy: SimTime,
     pub(crate) pcie_h2d: Link,
@@ -236,7 +239,7 @@ pub(crate) fn build_nodes(cfg: &ClusterConfig, wl: &CommWorkload) -> Vec<NodeSta
                     })
                     .collect(),
                 filter: IdxFilter::new(wl.n_cols()),
-                concat: concat_point(nic_concat_cfg, cfg.concat_impl),
+                pipeline: Pipeline::for_nic(concat_point(nic_concat_cfg, cfg.concat_impl)),
                 concat_sched: None,
                 server_busy: SimTime::ZERO,
                 pcie_h2d: Link::new(cfg.pcie_link()),
@@ -288,7 +291,7 @@ impl Component for NodeState {
 impl NodeState {
     /// (Re-)schedules the earliest pending concatenator expiry.
     fn arm_concat(&mut self, sched: &mut Scheduler<'_, Event>) {
-        if let Some(t) = self.concat.next_expiry() {
+        if let Some(t) = self.pipeline.next_concat_expiry() {
             let t = t.max(sched.now());
             if self.concat_sched.is_none_or(|cur| t < cur) {
                 self.concat_sched = Some(t);
@@ -302,7 +305,7 @@ impl NodeState {
     fn concat_expire(&mut self, now: SimTime, ctx: &mut Ctx<'_, '_, '_>) {
         self.concat_sched = None;
         let mut out = std::mem::take(&mut self.out_buf);
-        self.concat.flush_expired_with(now, |p| out.push((now, p)));
+        self.pipeline.flush_concat(now, &mut out);
         ctx.fabric.send_batch_from_nic(self.id, &mut out, ctx.sched);
         self.out_buf = out;
         self.arm_concat(ctx.sched);
@@ -393,15 +396,20 @@ impl NodeState {
         let id = self.id;
         let stream = wl.stream(id);
         let partition = wl.partition();
+        // Scatter-side reduction: every issued read also owes the owner a
+        // partial-sum contribution for its output row.
+        let reduce_on = cfg.reduce.enabled;
+        let payload = ctx.shared.payload;
         let mut out = std::mem::take(&mut self.out_buf);
         let mut command_done = false;
         let mut degraded_sent = 0u64;
 
         {
+            let topo = ctx.fabric.topology();
             let NodeState {
                 units,
                 filter,
-                concat,
+                pipeline,
                 issue_times,
                 ..
             } = self;
@@ -453,6 +461,13 @@ impl NodeState {
                         ctx.shared.audit.issue("pr");
                         issue_times.record(unit_id, pr.req_id, t_pr);
                         let dest = partition.owner(idx);
+                        let prc = PrCtx {
+                            sw: id,
+                            pkt_dest: dest,
+                            payload,
+                            topo,
+                            partition,
+                        };
                         if degraded_mode {
                             // §7.1 escalation: bypass concatenation and
                             // the cached switch path entirely — one bare
@@ -469,9 +484,30 @@ impl NodeState {
                                 ),
                             ));
                         } else {
-                            concat.push_with(t_pr, dest, PrKind::Read, pr, 0, |pkt| {
-                                out.push((t_pr, pkt));
-                            });
+                            pipeline.run(t_pr, pr, PrKind::Read, &prc, &mut out);
+                        }
+                        if reduce_on {
+                            // One contribution per issued read, toward the
+                            // row owner (`dest` is the reduction root).
+                            let v = partial_contrib_value(id, idx);
+                            let contrib = Pr::partial(id, idx, 1, v);
+                            ctx.shared.reduce.contribs_issued += 1;
+                            ctx.shared.reduce.value_issued =
+                                ctx.shared.reduce.value_issued.wrapping_add(v);
+                            if degraded_mode {
+                                out.push((
+                                    t_pr,
+                                    ConcatPacket::degraded_singleton(
+                                        &headers,
+                                        dest,
+                                        PrKind::Partial,
+                                        contrib,
+                                        payload,
+                                    ),
+                                ));
+                            } else {
+                                pipeline.run(t_pr, contrib, PrKind::Partial, &prc, &mut out);
+                            }
                         }
                     }
                     IdxOutcome::Local | IdxOutcome::Filtered | IdxOutcome::Coalesced => {
@@ -564,6 +600,7 @@ impl NodeState {
         match pkt.kind {
             PrKind::Read => self.serve_reads(now, pkt, ctx),
             PrKind::Response => self.accept_responses(now, pkt, ctx),
+            PrKind::Partial => self.accept_partials(now, pkt, ctx),
         }
     }
 
@@ -577,6 +614,8 @@ impl NodeState {
         let degraded = pkt.degraded;
         let mut out = std::mem::take(&mut self.out_buf);
         {
+            let topo = ctx.fabric.topology();
+            let partition = ctx.wl.partition();
             let svc = self.serve;
             for &pr in &pkt.prs {
                 let t = self.server_busy.max(now) + svc;
@@ -597,20 +636,19 @@ impl NodeState {
                         ),
                     ));
                 } else {
-                    self.concat.push_with(
-                        t_resp,
-                        pr.src_node,
-                        PrKind::Response,
-                        pr,
+                    let prc = PrCtx {
+                        sw: self.id,
+                        pkt_dest: pr.src_node,
                         payload,
-                        |p| {
-                            out.push((t_resp, p));
-                        },
-                    );
+                        topo,
+                        partition,
+                    };
+                    self.pipeline
+                        .run(t_resp, pr, PrKind::Response, &prc, &mut out);
                 }
             }
         }
-        self.concat.recycle(pkt.prs);
+        self.pipeline.concat_mut().recycle(pkt.prs);
         ctx.fabric.send_batch_from_nic(self.id, &mut out, ctx.sched);
         self.out_buf = out;
         self.arm_concat(ctx.sched);
@@ -680,7 +718,7 @@ impl NodeState {
                 }
             }
         }
-        self.concat.recycle(pkt.prs);
+        self.pipeline.concat_mut().recycle(pkt.prs);
         for u in wake.drain(..) {
             ctx.sched.schedule(
                 now,
@@ -696,6 +734,23 @@ impl NodeState {
         }
         completed.clear();
         self.done_buf = completed;
+    }
+
+    /// Root path of the reduction extension: partial-sum contributions for
+    /// rows this node owns arrive (merged or not), are accounted for
+    /// conservation, and cross PCIe into host memory for the final fold.
+    fn accept_partials(&mut self, now: SimTime, pkt: ConcatPacket, ctx: &mut Ctx<'_, '_, '_>) {
+        debug_assert_eq!(pkt.dest, self.id, "partial packet delivered to wrong node");
+        let payload = ctx.shared.payload as u64;
+        let r = &mut ctx.shared.reduce;
+        r.partial_prs_at_root += pkt.prs.len() as u64;
+        r.root_wire_bytes += pkt.wire_bytes;
+        for pr in &pkt.prs {
+            r.contribs_delivered += pr.partial_contribs();
+            r.value_delivered = r.value_delivered.wrapping_add(pr.partial_value());
+        }
+        self.pcie_d2h.transmit(now, pkt.prs.len() as u64 * payload);
+        self.pipeline.concat_mut().recycle(pkt.prs);
     }
 
     /// §7.1 recovery: the RIG operation timed out. Abandon outstanding

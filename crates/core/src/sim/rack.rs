@@ -1,18 +1,18 @@
 //! The rack component: one switch (ToR or spine) with its NetSparse
 //! extensions.
 //!
-//! A [`RackState`] owns a switch's middle-pipeline model (Property Cache
-//! banks), its cross-node concatenation point, and the NetSparse
-//! enablement flag. Edge (ToR) switches deconcatenate arriving packets,
-//! probe/fill the cache for inter-rack properties, and reconcatenate;
+//! A [`RackState`] owns a switch's middle-pipe handler [`Pipeline`]
+//! (Property-Cache probe/fill, optional in-network reduction, cross-node
+//! concatenation) and the NetSparse enablement flag. Edge (ToR) switches
+//! deconcatenate arriving packets and drive every PR through the pipeline;
 //! spines (and every switch when the mechanisms are off) forward packets
 //! verbatim through the [`Fabric`](super::fabric::Fabric). Ingress fault
 //! handling — dead-switch blackholing and the configured loss process —
 //! also happens here, before any processing, exactly once per traversal.
 
 use netsparse_desim::{Scheduler, SimTime};
-use netsparse_snic::{ConcatConfig, ConcatPacket, ConcatPoint, PrKind};
-use netsparse_switch::MiddlePipes;
+use netsparse_snic::{ConcatConfig, ConcatPacket};
+use netsparse_switch::{MiddlePipes, ReduceTable};
 
 #[cfg(feature = "trace")]
 use netsparse_desim::trace::{lane, DropReason, TraceEvent, TrackId};
@@ -23,14 +23,17 @@ use crate::config::ClusterConfig;
 use crate::sim::driver::{Component, Ctx};
 use crate::sim::events::Event;
 use crate::sim::node::concat_point;
+use crate::sim::pipeline::{Pipeline, PrCtx};
 
 /// One switch of the cluster: the component bound to `Port::Rack(id)`.
 pub(crate) struct RackState {
     /// This switch's id (netsim switch index).
     pub(crate) id: u32,
-    pub(crate) pipes: MiddlePipes,
-    pub(crate) concat: ConcatPoint,
+    /// The middle-pipe handler pipeline: cache, optional reduce, concat.
+    pub(crate) pipeline: Pipeline,
     pub(crate) concat_sched: Option<SimTime>,
+    /// Earliest scheduled reduce-window expiry, if any.
+    pub(crate) reduce_sched: Option<SimTime>,
     /// Whether this switch runs the NetSparse extensions (edge switches
     /// with the mechanisms enabled).
     pub(crate) netsparse: bool,
@@ -54,22 +57,36 @@ pub(crate) fn build_racks(cfg: &ClusterConfig, n_switches: u32) -> Vec<RackState
     } else {
         0
     };
+    let cache_on = cfg.mechanisms.property_cache;
+    let cache_lat = cfg
+        .switch_clock()
+        .cycles(cfg.switch.cache.latency_cycles as u64);
+    let reduce_on = cfg.reduce.enabled && cfg.reduce.in_network;
     (0..n_switches)
         .map(|s| {
             let edge = cfg.topology.is_edge_switch(SwitchId(s));
             let mut sw_cfg = cfg.switch;
-            sw_cfg.cache.capacity_bytes = cache_bytes;
+            // Non-edge switches carry no NetSparse extensions.
+            sw_cfg.cache.capacity_bytes = if edge { cache_bytes } else { 0 };
+            let reduce = if reduce_on && edge {
+                Some(ReduceTable::new(
+                    cfg.reduce.table_entries,
+                    SimTime::from_ns(cfg.reduce.flush_ns),
+                ))
+            } else {
+                None
+            };
             RackState {
                 id: s,
-                pipes: if edge {
-                    MiddlePipes::new(&sw_cfg, payload.max(1))
-                } else {
-                    // Non-edge switches carry no NetSparse extensions.
-                    sw_cfg.cache.capacity_bytes = 0;
-                    MiddlePipes::new(&sw_cfg, payload.max(1))
-                },
-                concat: concat_point(switch_concat_cfg, cfg.concat_impl),
+                pipeline: Pipeline::for_rack(
+                    MiddlePipes::new(&sw_cfg, payload.max(1)),
+                    cache_lat,
+                    cache_on,
+                    reduce,
+                    concat_point(switch_concat_cfg, cfg.concat_impl),
+                ),
                 concat_sched: None,
+                reduce_sched: None,
                 netsparse: edge && cfg.mechanisms.netsparse_switch(),
                 out_buf: Vec::new(),
             }
@@ -84,6 +101,7 @@ impl Component for RackState {
                 self.packet_at_switch(now, from_nic, pkt, ctx);
             }
             Event::SwitchConcatExpire { .. } => self.concat_expire(now, ctx),
+            Event::ReduceExpire { .. } => self.reduce_expire(now, ctx),
             // simaudit:allow(no-lib-panic): the port-wiring lint pass proves this arm unreachable
             _ => unreachable!("event routed to the wrong port"),
         }
@@ -93,11 +111,22 @@ impl Component for RackState {
 impl RackState {
     /// (Re-)schedules the earliest pending concatenator expiry.
     fn arm_concat(&mut self, sched: &mut Scheduler<'_, Event>) {
-        if let Some(t) = self.concat.next_expiry() {
+        if let Some(t) = self.pipeline.next_concat_expiry() {
             let t = t.max(sched.now());
             if self.concat_sched.is_none_or(|cur| t < cur) {
                 self.concat_sched = Some(t);
                 sched.schedule(t, Event::SwitchConcatExpire { switch: self.id });
+            }
+        }
+    }
+
+    /// (Re-)schedules the earliest pending reduce-window close.
+    fn arm_reduce(&mut self, sched: &mut Scheduler<'_, Event>) {
+        if let Some(t) = self.pipeline.next_reduce_expiry() {
+            let t = t.max(sched.now());
+            if self.reduce_sched.is_none_or(|cur| t < cur) {
+                self.reduce_sched = Some(t);
+                sched.schedule(t, Event::ReduceExpire { switch: self.id });
             }
         }
     }
@@ -107,11 +136,34 @@ impl RackState {
     fn concat_expire(&mut self, now: SimTime, ctx: &mut Ctx<'_, '_, '_>) {
         self.concat_sched = None;
         let mut out = std::mem::take(&mut self.out_buf);
-        self.concat.flush_expired_with(now, |p| out.push((now, p)));
+        self.pipeline.flush_concat(now, &mut out);
         ctx.fabric
             .send_batch_from_switch(ctx.shared, self.id, &mut out, ctx.sched);
         self.out_buf = out;
         self.arm_concat(ctx.sched);
+    }
+
+    /// Flushes reduce-table entries whose aggregation window closed: each
+    /// merged Partial PR re-enters the pipeline below the reduce stage and
+    /// concatenates toward its root.
+    fn reduce_expire(&mut self, now: SimTime, ctx: &mut Ctx<'_, '_, '_>) {
+        self.reduce_sched = None;
+        let mut out = std::mem::take(&mut self.out_buf);
+        {
+            let prc = PrCtx {
+                sw: self.id,
+                pkt_dest: 0, // unused: each flushed PR carries its own root
+                payload: ctx.shared.payload,
+                topo: ctx.fabric.topology(),
+                partition: ctx.wl.partition(),
+            };
+            self.pipeline.flush_reduce(now, &prc, &mut out);
+        }
+        ctx.fabric
+            .send_batch_from_switch(ctx.shared, self.id, &mut out, ctx.sched);
+        self.out_buf = out;
+        self.arm_concat(ctx.sched);
+        self.arm_reduce(ctx.sched);
     }
 
     fn packet_at_switch(
@@ -128,6 +180,7 @@ impl RackState {
         // Detection/recovery is the RIG watchdog.
         if ctx.fabric.failures.switch_dead(SwitchId(sw)) {
             ctx.shared.faults.dropped_dead += 1;
+            ctx.shared.account_partial_drop(&pkt);
             #[cfg(feature = "trace")]
             ctx.shared.trace(
                 TrackId::switch(sw, lane::FAULT),
@@ -139,6 +192,7 @@ impl RackState {
             return;
         }
         if ctx.shared.loss_active && ctx.shared.loss.drop_packet() {
+            ctx.shared.account_partial_drop(&pkt);
             #[cfg(feature = "trace")]
             ctx.shared.trace(
                 TrackId::switch(sw, lane::FAULT),
@@ -159,72 +213,41 @@ impl RackState {
             return;
         }
 
-        let cache_on = ctx.cfg.mechanisms.property_cache;
-        let payload = ctx.shared.payload;
-        let t_pr = if cache_on {
-            t + ctx.shared.cache_lat
-        } else {
-            t
-        };
-        let wl = ctx.wl;
-        let partition = wl.partition();
+        // The processing path: deconcatenate and drive every PR through
+        // the handler pipeline (cache probe/fill, optional reduce fold,
+        // reconcatenation). Each handler charges its own cycle cost.
         let mut out = std::mem::take(&mut self.out_buf);
         {
-            let st = &mut *self;
-            match pkt.kind {
-                PrKind::Read => {
-                    let home = pkt.dest;
-                    let cacheable =
-                        cache_on && st.pipes.enabled() && topo.edge_switch_of(home).0 != sw;
-                    for &pr in &pkt.prs {
-                        if cacheable && st.pipes.lookup(home, pr.idx) {
-                            // Hit: the read becomes a response to its source.
-                            st.concat.push_with(
-                                t_pr,
-                                pr.src_node,
-                                PrKind::Response,
-                                pr,
-                                payload,
-                                |p| out.push((t_pr, p)),
-                            );
-                        } else {
-                            st.concat.push_with(t_pr, home, PrKind::Read, pr, 0, |p| {
-                                out.push((t_pr, p));
-                            });
-                        }
-                    }
-                }
-                PrKind::Response => {
-                    let requester = pkt.dest;
-                    for &pr in &pkt.prs {
-                        let home = partition.owner(pr.idx);
-                        if cache_on && st.pipes.enabled() && topo.edge_switch_of(home).0 != sw {
-                            st.pipes.insert(home, pr.idx);
-                        }
-                        st.concat
-                            .push_with(t_pr, requester, PrKind::Response, pr, payload, |p| {
-                                out.push((t_pr, p));
-                            });
-                    }
-                }
+            let prc = PrCtx {
+                sw,
+                pkt_dest: pkt.dest,
+                payload: ctx.shared.payload,
+                topo,
+                partition: ctx.wl.partition(),
+            };
+            for &pr in &pkt.prs {
+                self.pipeline.run(t, pr, pkt.kind, &prc, &mut out);
             }
-            st.concat.recycle(pkt.prs);
+            self.pipeline.concat_mut().recycle(pkt.prs);
         }
         ctx.fabric
             .send_batch_from_switch(ctx.shared, sw, &mut out, ctx.sched);
         self.out_buf = out;
         self.arm_concat(ctx.sched);
+        self.arm_reduce(ctx.sched);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ReduceConfig;
     use crate::sim::driver::Shared;
     use crate::sim::fabric::Fabric;
     use netsparse_desim::EventQueue;
     use netsparse_netsim::Topology;
-    use netsparse_snic::Pr;
+    use netsparse_snic::protocol::partial_contrib_value;
+    use netsparse_snic::{Pr, PrKind};
     use netsparse_sparse::{CommWorkload, Partition1D};
 
     fn topo() -> Topology {
@@ -293,7 +316,7 @@ mod tests {
             };
             tor.packet_at_switch(SimTime::ZERO, false, resp, &mut ctx);
             assert_eq!(
-                tor.pipes.stats().insertions,
+                tor.pipeline.pipes().unwrap().stats().insertions,
                 1,
                 "response must fill the cache"
             );
@@ -305,7 +328,7 @@ mod tests {
                 ..read
             };
             tor.packet_at_switch(SimTime::ZERO, true, read, &mut ctx);
-            let stats = tor.pipes.stats();
+            let stats = tor.pipeline.pipes().unwrap().stats();
             assert_eq!(stats.lookups, 1);
             assert_eq!(stats.hits, 1, "second reference must be served by the ToR");
         }
@@ -341,7 +364,81 @@ mod tests {
             };
             spine.packet_at_switch(SimTime::ZERO, false, read, &mut ctx);
         }
-        assert_eq!(spine.pipes.stats().lookups, 0);
+        assert_eq!(spine.pipeline.pipes().unwrap().stats().lookups, 0);
         assert_eq!(queue.len(), 1, "the packet must be forwarded onward");
+    }
+
+    /// An edge switch with in-network reduction absorbs Partial
+    /// contributions into its table and, when the window expires, emits a
+    /// single merged PR toward the root — conserving counts and values.
+    #[test]
+    fn reduce_absorbs_partials_and_emits_merged_on_expiry() {
+        let mut cfg = ClusterConfig::mini(topo(), 16);
+        cfg.reduce = ReduceConfig::in_network();
+        let wl = workload();
+        let mut fabric = Fabric::try_new(&cfg).unwrap();
+        let mut shared = Shared::new(&cfg);
+        let mut racks = build_racks(&cfg, fabric.net.switches());
+        let tor = &mut racks[0];
+        assert!(
+            tor.pipeline.reduce_stats().is_some(),
+            "edge ToR has a table"
+        );
+
+        // Contributions from nodes 0 and 1 (rack 0) toward row 64's owner
+        // (node 4, rack 1) arrive from local NICs.
+        let root = wl.partition().owner(64);
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        {
+            let mut sched = netsparse_desim::Scheduler::at(&mut queue, SimTime::ZERO);
+            let mut ctx = Ctx {
+                cfg: &cfg,
+                wl: &wl,
+                fabric: &mut fabric,
+                shared: &mut shared,
+                sched: &mut sched,
+            };
+            for src in 0..2u32 {
+                let p = Pr::partial(src, 64, 1, partial_contrib_value(src, 64));
+                let pkt = ConcatPacket::degraded_singleton(
+                    &cfg.headers,
+                    root,
+                    PrKind::Partial,
+                    p,
+                    cfg.payload_bytes(),
+                );
+                let pkt = ConcatPacket {
+                    degraded: false,
+                    ..pkt
+                };
+                tor.packet_at_switch(SimTime::ZERO, true, pkt, &mut ctx);
+            }
+            let stats = tor.pipeline.reduce_stats().unwrap();
+            assert_eq!((stats.allocated, stats.merged), (1, 1));
+            assert_eq!(stats.allocated - stats.flushed, 1, "one entry in flight");
+            assert!(
+                tor.reduce_sched.is_some(),
+                "an aggregation window must be armed"
+            );
+
+            // Fire the expiry: the merged PR flushes through the concat
+            // stage toward the root.
+            let t = tor.reduce_sched.unwrap();
+            tor.reduce_expire(t, &mut ctx);
+        }
+        let stats = tor.pipeline.reduce_stats().unwrap();
+        assert_eq!(stats.allocated - stats.flushed, 0, "table drained");
+        assert_eq!(stats.flushed, 1);
+    }
+
+    /// With `in_network` off no switch builds a reduce stage, so Partial
+    /// traffic flows through concat untouched.
+    #[test]
+    fn software_baseline_has_no_reduce_stage() {
+        let mut cfg = ClusterConfig::mini(topo(), 16);
+        cfg.reduce = ReduceConfig::software_baseline();
+        let fabric = Fabric::try_new(&cfg).unwrap();
+        let racks = build_racks(&cfg, fabric.net.switches());
+        assert!(racks.iter().all(|r| r.pipeline.reduce_stats().is_none()));
     }
 }

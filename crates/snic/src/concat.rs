@@ -27,7 +27,7 @@ use netsparse_desim::trace::FlushReason;
 #[cfg(feature = "trace")]
 use netsparse_desim::trace::{TraceEvent, Tracer, TrackId};
 
-use crate::protocol::{HeaderSpec, Pr, PrKind};
+use crate::protocol::{HeaderSpec, Pr, PrKind, PR_KINDS};
 
 /// Configuration of one concatenation point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -146,14 +146,15 @@ struct EqEntry {
 /// assert_eq!(pkts.len(), 1);
 /// assert_eq!(pkts[0].prs.len(), 2);
 /// ```
-/// CQ storage is a dense slab indexed by `dest * 2 + kind` (the id-space
-/// contract: destinations are dense node ids assigned by the cluster, so
-/// the slab is at most `2 * nodes` small structs). Slot order equals the
-/// former `BTreeMap<(u32, PrKind), Cq>` iteration order — destination
-/// ascending, [`PrKind::Read`] before [`PrKind::Response`] — so drain
-/// order (and with it every committed digest) is unchanged. Emptied PR
-/// buffers rotate through a spare pool ([`Concatenator::recycle`])
-/// instead of being reallocated per packet.
+/// CQ storage is a dense slab indexed by `dest * PR_KINDS + kind` (the
+/// id-space contract: destinations are dense node ids assigned by the
+/// cluster, so the slab is at most `PR_KINDS * nodes` small structs).
+/// Slot order equals the former `BTreeMap<(u32, PrKind), Cq>` iteration
+/// order — destination ascending, [`PrKind::Read`] before
+/// [`PrKind::Response`] before [`PrKind::Partial`] — so drain order (and
+/// with it every committed digest) is unchanged for runs without Partial
+/// traffic. Emptied PR buffers rotate through a spare pool
+/// ([`Concatenator::recycle`]) instead of being reallocated per packet.
 #[derive(Debug)]
 pub struct Concatenator {
     cfg: ConcatConfig,
@@ -184,21 +185,21 @@ impl Concatenator {
     }
 
     /// The slab slot of a `(dest, kind)` CQ: destinations are dense ids,
-    /// so each gets two adjacent slots (read, then response).
+    /// so each gets [`PR_KINDS`] adjacent slots (read, response, partial).
     #[inline]
     fn slot(dest: u32, kind: PrKind) -> usize {
-        dest as usize * 2 + kind as usize
+        dest as usize * PR_KINDS + kind as usize
     }
 
     /// The `(dest, kind)` a slab slot holds.
     #[inline]
     fn unslot(slot: usize) -> (u32, PrKind) {
-        let kind = if slot.is_multiple_of(2) {
-            PrKind::Read
-        } else {
-            PrKind::Response
+        let kind = match slot % PR_KINDS {
+            0 => PrKind::Read,
+            1 => PrKind::Response,
+            _ => PrKind::Partial,
         };
-        ((slot / 2) as u32, kind)
+        ((slot / PR_KINDS) as u32, kind)
     }
 
     /// Pops a pooled PR buffer, or a fresh one when the pool is dry.

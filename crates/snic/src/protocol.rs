@@ -9,15 +9,24 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Whether a PR is a read request or a read response (the paper's two PR
-/// types; concatenation queues are segregated by this).
+/// Whether a PR is a read request, a read response (the paper's two PR
+/// types), or a partial-sum contribution for in-network reduction (the
+/// scatter-side dual the reduction extension adds). Concatenation queues
+/// are segregated by this.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum PrKind {
     /// A request for a remote property.
     Read,
     /// A response carrying a property's data.
     Response,
+    /// A partial-sum contribution toward the owner of an output row.
+    /// Reuses the PR layer with overloaded fields — see [`Pr::partial`].
+    Partial,
 }
+
+/// How many PR kinds exist; per-destination queue slabs are strided by
+/// this (see `Concatenator::slot` / `VirtualConcatenator::slot`).
+pub const PR_KINDS: usize = 3;
 
 /// One Property Request, as carried in the PR layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -30,6 +39,45 @@ pub struct Pr {
     pub idx: u32,
     /// Request id, unique within `(src_node, src_tid)`.
     pub req_id: u32,
+}
+
+impl Pr {
+    /// Builds a [`PrKind::Partial`] contribution PR for output row `idx`.
+    /// The PR layer is reused with overloaded fields: `src_tid` carries
+    /// the number of original contributions merged into this PR (1 at the
+    /// source) and `req_id` carries the wrapping sum of their values, so
+    /// switches can merge Partials without a wider header and conservation
+    /// oracles can check `sum(inputs) == sum(merged outputs)` exactly.
+    pub fn partial(src_node: u32, idx: u32, contribs: u16, value_sum: u32) -> Pr {
+        Pr {
+            src_node,
+            src_tid: contribs,
+            idx,
+            req_id: value_sum,
+        }
+    }
+
+    /// Original contributions folded into this Partial PR.
+    pub fn partial_contribs(&self) -> u64 {
+        self.src_tid as u64
+    }
+
+    /// Wrapping sum of the contribution values folded into this PR.
+    pub fn partial_value(&self) -> u32 {
+        self.req_id
+    }
+}
+
+/// The deterministic stand-in value of one partial-sum contribution from
+/// `src_node` for output row `idx` (a splitmix-style integer mix). The
+/// simulator does not model numerics; this value exists so sum
+/// conservation is checkable end to end — the wrapping sum of delivered
+/// partials must equal the wrapping sum of issued contributions.
+pub fn partial_contrib_value(src_node: u32, idx: u32) -> u32 {
+    let mut z = ((src_node as u64) << 32 | idx as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as u32
 }
 
 /// Header sizes of the protocol stack, in bytes.
@@ -153,6 +201,26 @@ mod tests {
         assert_eq!(h.prs_per_mtu(1500, 64), 17);
         // Huge payloads still admit one PR.
         assert_eq!(h.prs_per_mtu(1500, 4_000), 1);
+    }
+
+    #[test]
+    fn partial_pr_round_trips_its_overloaded_fields() {
+        let v = partial_contrib_value(3, 41);
+        let pr = Pr::partial(3, 41, 1, v);
+        assert_eq!(pr.partial_contribs(), 1);
+        assert_eq!(pr.partial_value(), v);
+        // Merging is a wrapping sum over values and a plain sum of counts.
+        let w = partial_contrib_value(4, 41);
+        let merged = Pr::partial(3, 41, 2, v.wrapping_add(w));
+        assert_eq!(merged.partial_contribs(), 2);
+        assert_eq!(merged.partial_value(), v.wrapping_add(w));
+    }
+
+    #[test]
+    fn contrib_values_are_deterministic_and_spread() {
+        assert_eq!(partial_contrib_value(1, 2), partial_contrib_value(1, 2));
+        assert_ne!(partial_contrib_value(1, 2), partial_contrib_value(2, 1));
+        assert_ne!(partial_contrib_value(0, 0), partial_contrib_value(0, 1));
     }
 
     #[test]

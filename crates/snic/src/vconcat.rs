@@ -20,7 +20,7 @@ use netsparse_desim::trace::{TraceEvent, Tracer, TrackId};
 use netsparse_desim::{Histogram, SimTime};
 
 use crate::concat::{ConcatConfig, ConcatPacket};
-use crate::protocol::{Pr, PrKind};
+use crate::protocol::{Pr, PrKind, PR_KINDS};
 
 /// Configuration of the physical-CQ pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,8 +83,9 @@ const SPARE_CAP: usize = 64;
 
 /// A concatenation point backed by a fixed physical-CQ pool.
 ///
-/// Virtual CQs live in a dense slab indexed by `dest * 2 + kind`
-/// (destination ids are dense, `PrKind::Read < PrKind::Response`), so
+/// Virtual CQs live in a dense slab indexed by `dest * PR_KINDS + kind`
+/// (destination ids are dense, `PrKind::Read < PrKind::Response <
+/// PrKind::Partial`), so
 /// ascending-slot iteration reproduces the `(dest, kind)` order the
 /// former `BTreeMap` storage drained in — flush order, and therefore
 /// the event stream and audit digest, are unchanged. Emptied `prs`
@@ -192,17 +193,17 @@ impl VirtualConcatenator {
 
     /// Slab slot for a `(dest, kind)` pair.
     fn slot(dest: u32, kind: PrKind) -> usize {
-        dest as usize * 2 + kind as usize
+        dest as usize * PR_KINDS + kind as usize
     }
 
     /// Inverse of [`Self::slot`].
     fn unslot(slot: usize) -> (u32, PrKind) {
-        let kind = if slot.is_multiple_of(2) {
-            PrKind::Read
-        } else {
-            PrKind::Response
+        let kind = match slot % PR_KINDS {
+            0 => PrKind::Read,
+            1 => PrKind::Response,
+            _ => PrKind::Partial,
         };
-        ((slot / 2) as u32, kind)
+        ((slot / PR_KINDS) as u32, kind)
     }
 
     /// Pops a retained `prs` vector from the spare pool, or a fresh one.

@@ -14,6 +14,9 @@
 //!   deterministic home-keyed bank selection that stands in for the
 //!   paper's ingress/egress-port matching argument (§6.2.1), plus the
 //!   Table 5 switch configuration.
+//! - [`reduce`] — the in-network reduction extension's partial-sum table:
+//!   edge switches merge `Partial` contribution PRs per output row before
+//!   forwarding them toward the row's owner.
 //!
 //! Concatenators inside switches reuse `netsparse_snic::Concatenator` (the
 //! mechanism is identical; only the delay budget differs).
@@ -23,6 +26,8 @@
 
 pub mod cache;
 pub mod pipes;
+pub mod reduce;
 
 pub use cache::{PropertyCache, PropertyCacheConfig, ReplacementPolicy};
 pub use pipes::{MiddlePipes, SwitchConfig};
+pub use reduce::{ReduceStats, ReduceTable};

@@ -19,9 +19,12 @@
 # `bench_sweep`, which emits BENCH_sweep.json with serial vs parallel
 # wall-clock (see docs/ARCHITECTURE.md), a timed `bench_engine` smoke
 # gating events/sec against the committed BENCH_engine.json (>20%
-# regression fails), and a 50-seed chaoscheck smoke
-# plus shrinker demo emitting the CHAOS_report.json artifact (see
-# docs/FAULTS.md §Chaos testing).
+# regression fails), the in-network reduction invariant tests plus an
+# ext_reduce scenario smoke (see docs/ARCHITECTURE.md §Handler
+# pipelines), and a 50-seed chaoscheck smoke plus shrinker demo emitting
+# the CHAOS_report.json artifact and a 16-seed pass over the reduction
+# slice of the seed space (bit 32 set) emitting CHAOS_reduce_report.json
+# (see docs/FAULTS.md §Chaos testing).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -77,6 +80,12 @@ if [[ "$fast" -eq 0 ]]; then
     # BENCH_engine.json baseline.
     run cargo run --release -q -p netsparse-bench --bin bench_engine -- \
         --quick --check-against BENCH_engine.json
+    # In-network reduction: the conservation/ablation invariants with the
+    # release auditor on, then a scenario smoke of the ext_reduce table
+    # (asserts contribution conservation in every cell).
+    run cargo test -q -p netsparse-tests --features audit --release \
+        --test switch_semantics --test mechanism_invariants -- reduc
+    run cargo run --release -q -p netsparse-bench --bin ext_reduce -- --scale 0.1
     # Chaos smoke: 50 seeded scenarios through the oracle suite with the
     # runtime auditor on. Exits non-zero on any oracle violation or
     # liveness stall; CHAOS_report.json is archived like lint_report.json.
@@ -85,6 +94,12 @@ if [[ "$fast" -eq 0 ]]; then
     run cargo run --release -q -p netsparse-bench --features audit --bin chaos -- \
         --seeds 50 --out CHAOS_report.json
     run cargo run --release -q -p netsparse-bench --features audit --bin chaos -- --demo-shrink
+    # The reduction slice of the chaos seed space (bit 32 set): the same
+    # scenario population with scatter contributions flowing, gated by
+    # the reduce-conservation oracle. Separate output file so the
+    # committed CHAOS_report.json stays byte-identical to the base batch.
+    run cargo run --release -q -p netsparse-bench --features audit --bin chaos -- \
+        --seed0 4294967296 --seeds 16 --out CHAOS_reduce_report.json
 fi
 
 echo "ci: all checks passed"

@@ -6,7 +6,8 @@
 use netsparse::config::SimLimits;
 use netsparse::prelude::*;
 use netsparse_bench::chaos::{
-    self, parse_repro, replay_repro, run_batch, shrink, write_repro, ChaosScenario, ScenarioOutcome,
+    self, parse_repro, replay_repro, run_batch, shrink, write_repro, ChaosScenario,
+    ScenarioOutcome, REDUCE_SEED_BIT,
 };
 
 /// The committed smoke range: these seeds must stay clean (no oracle
@@ -31,10 +32,36 @@ fn committed_seed_batch_is_clean_and_deterministic() {
 }
 
 #[test]
+fn reduce_slice_batch_is_clean_and_deterministic() {
+    // The reduction slice of the seed space (bit 32 set) runs the same
+    // scenario population with scatter contributions flowing; the
+    // reduce-conservation oracle must hold under every fault mix, and
+    // the batch must stay reproducible.
+    let a = run_batch(REDUCE_SEED_BIT + 1, 8);
+    assert!(
+        a.is_clean(),
+        "reduce-slice seeds must not violate or stall: {:?}",
+        a.violations
+    );
+    assert!(a.passed > 0, "the slice must actually run scenarios");
+    let b = run_batch(REDUCE_SEED_BIT + 1, 8);
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
 fn poisoned_scenarios_come_back_as_typed_rejections() {
     // Seeds ≡ 3 (mod 8) carry a deliberate config poison; each must be
     // rejected by front-loaded validation — counted, never crashed on.
-    for seed in [3u64, 11, 19, 27, 35] {
+    // The reduce bit (≡ 0 mod 8) must not disturb the poisoned slice.
+    for seed in [
+        3u64,
+        11,
+        19,
+        27,
+        35,
+        REDUCE_SEED_BIT + 3,
+        REDUCE_SEED_BIT + 11,
+    ] {
         let sc = ChaosScenario::generate(seed);
         match sc.run() {
             ScenarioOutcome::Rejected(err) => {

@@ -1,5 +1,7 @@
-//! Cross-mechanism invariants: how the four NetSparse mechanisms are
-//! allowed to change traffic, PR counts and timing relative to each other.
+//! Cross-mechanism invariants: how the five NetSparse mechanisms (RIG
+//! filtering, coalescing, concatenation, property caching, in-network
+//! reduction) are allowed to change traffic, PR counts and timing
+//! relative to each other.
 
 use netsparse::prelude::*;
 
@@ -178,6 +180,68 @@ fn fc_rate_is_zero_without_mechanisms_and_high_with() {
     let on = simulate(&cfg_with(Mechanisms::all(), 16), &wl);
     // Arabic's ~25x reuse means the tail node's F+C rate is large.
     assert!(on.tail().fc_rate() > 0.7, "{}", on.tail().fc_rate());
+}
+
+#[test]
+fn reduction_conserves_contributions_at_scale() {
+    // Arabic at 32 nodes: every issued read carries exactly one partial-sum
+    // contribution, and in a lossless run every contribution reaches its
+    // root — counts and wrapping value sums both balance.
+    let wl = workload();
+    let mut cfg = cfg_with(Mechanisms::all(), 16);
+    cfg.reduce = ReduceConfig::in_network();
+    let report = simulate(&cfg, &wl);
+    assert!(report.functional_check_passed);
+    let r = report.reduce.as_ref().expect("reduce enabled");
+    assert_eq!(
+        r.contribs_issued,
+        report.total_issued(),
+        "one contribution per issued read PR"
+    );
+    assert!(r.conserved(), "conservation: {r:?}");
+    assert_eq!(r.contribs_dropped, 0, "lossless run drops nothing");
+    assert!(r.merges > 0, "arabic shares enough rows to fold");
+    assert!(r.partial_prs_at_root > 0);
+}
+
+#[test]
+fn in_network_reduction_cuts_root_bytes_at_scale() {
+    // The reduction ablation pair: identical contribution streams, with
+    // and without switch-side folding. In-network must deliver the same
+    // sums over strictly fewer root-downlink bytes.
+    let wl = workload();
+    let mut sw = cfg_with(Mechanisms::all(), 16);
+    sw.reduce = ReduceConfig::software_baseline();
+    let soft = simulate(&sw, &wl);
+    let mut inn = cfg_with(Mechanisms::all(), 16);
+    inn.reduce = ReduceConfig::in_network();
+    let net = simulate(&inn, &wl);
+    let soft_r = soft.reduce.as_ref().unwrap();
+    let net_r = net.reduce.as_ref().unwrap();
+    assert_eq!(soft_r.merges, 0);
+    assert!(net_r.merges > 0);
+    assert!(soft_r.conserved() && net_r.conserved());
+    assert_eq!(soft_r.contribs_delivered, net_r.contribs_delivered);
+    assert_eq!(soft_r.value_delivered, net_r.value_delivered);
+    assert!(
+        net_r.root_wire_bytes < soft_r.root_wire_bytes,
+        "root bytes: in-network {} vs software {}",
+        net_r.root_wire_bytes,
+        soft_r.root_wire_bytes
+    );
+}
+
+#[test]
+fn reduce_disabled_leaves_reports_untouched() {
+    // The extension is pay-for-use: an explicit `disabled()` run is
+    // field-for-field identical to the default configuration.
+    let wl = workload();
+    let base = simulate(&cfg_with(Mechanisms::all(), 16), &wl);
+    let mut cfg = cfg_with(Mechanisms::all(), 16);
+    cfg.reduce = ReduceConfig::disabled();
+    let off = simulate(&cfg, &wl);
+    assert!(base.reduce.is_none());
+    assert_eq!(format!("{base:?}"), format!("{off:?}"));
 }
 
 #[test]

@@ -92,9 +92,9 @@ fn concatenator_never_loses_or_duplicates_prs() {
                 assert!(p.wire_bytes <= 1_500);
                 emitted.extend(p.prs);
             }
-            for p in c.flush_expired(SimTime::from_ns(t)) {
+            c.flush_expired_with(SimTime::from_ns(t), |p| {
                 emitted.extend(p.prs);
-            }
+            });
         }
         for p in c.flush_all() {
             emitted.extend(p.prs);
@@ -512,15 +512,15 @@ fn concat_flush_sizes_never_exceed_the_mtu() {
             if let Some(p) = c.push(t, dest, kind, pr, payload_of(kind)) {
                 assert!(p.wire_bytes <= bound(p.kind), "dedicated push overflow");
             }
-            for p in c.flush_expired(t) {
+            c.flush_expired_with(t, |p| {
                 assert!(p.wire_bytes <= bound(p.kind), "dedicated expiry overflow");
-            }
+            });
             for p in v.push(t, dest, kind, pr, payload_of(kind)) {
                 assert!(p.wire_bytes <= bound(p.kind), "virtual push overflow");
             }
-            for p in v.flush_expired(t) {
+            v.flush_expired_with(t, |p| {
                 assert!(p.wire_bytes <= bound(p.kind), "virtual expiry overflow");
-            }
+            });
         }
         for p in c.flush_all() {
             assert!(p.wire_bytes <= bound(p.kind), "dedicated drain overflow");

@@ -135,6 +135,104 @@ fn concat_delay_bounds_a_lone_pr() {
 }
 
 #[test]
+fn reduction_merges_shared_rows_at_the_source_tor() {
+    // Nodes 0-3 (rack 0) all need idx 40, owned by node 5 (rack 1). Each
+    // node issues its own read, so four partial-sum contributions for the
+    // same (root, row) leave rack 0 — the ToR's reduce table must fold
+    // them into one merged PR: 1 allocation, 3 merges.
+    let streams = vec![
+        vec![40],
+        vec![40],
+        vec![40],
+        vec![40],
+        vec![],
+        vec![],
+        vec![],
+        vec![],
+    ];
+    let mut c = cfg(16);
+    c.reduce = ReduceConfig::in_network();
+    let report = simulate(&c, &wl(streams));
+    assert!(report.functional_check_passed);
+    let r = report.reduce.as_ref().expect("reduce enabled");
+    assert_eq!(r.contribs_issued, 4, "one contribution per issued read");
+    assert_eq!(r.merges, 3, "three folds into the first entry");
+    assert_eq!(r.bypassed, 0);
+    assert!(r.conserved(), "conservation: {r:?}");
+    assert_eq!(r.contribs_dropped, 0, "lossless run drops nothing");
+    assert_eq!(r.contribs_delivered, 4);
+}
+
+#[test]
+fn reduction_off_reports_are_bit_identical() {
+    // `ReduceConfig::disabled()` is the default: spelling it out must not
+    // perturb a single field of the report (the extension is pay-for-use).
+    let streams = vec![
+        (40..50).collect::<Vec<u32>>(),
+        vec![16, 40, 41],
+        vec![],
+        vec![],
+        vec![],
+        vec![],
+        vec![],
+        vec![],
+    ];
+    let base = simulate(&cfg(16), &wl(streams.clone()));
+    let mut explicit = cfg(16);
+    explicit.reduce = ReduceConfig::disabled();
+    let off = simulate(&explicit, &wl(streams));
+    assert!(
+        base.reduce.is_none(),
+        "disabled runs carry no reduce report"
+    );
+    assert_eq!(format!("{base:?}"), format!("{off:?}"));
+}
+
+#[test]
+fn in_network_reduction_shrinks_root_downlink_bytes() {
+    // Same contribution stream, two transports: software baseline ships
+    // every partial PR to the root; in-network reduction folds rack-mates'
+    // contributions at the source ToR, so the root sees strictly fewer
+    // Partial wire bytes while delivering the same contributions.
+    let streams = vec![
+        vec![40, 41],
+        vec![40, 41],
+        vec![40, 41],
+        vec![40, 41],
+        vec![],
+        vec![],
+        vec![],
+        vec![],
+    ];
+    let mut sw = cfg(16);
+    sw.reduce = ReduceConfig::software_baseline();
+    let soft = simulate(&sw, &wl(streams.clone()));
+    let mut inn = cfg(16);
+    inn.reduce = ReduceConfig::in_network();
+    let net = simulate(&inn, &wl(streams));
+    let soft_r = soft.reduce.as_ref().expect("baseline reduce report");
+    let net_r = net.reduce.as_ref().expect("in-network reduce report");
+    assert_eq!(soft_r.merges, 0, "software baseline never folds in-network");
+    assert!(net_r.merges > 0);
+    assert!(soft_r.conserved() && net_r.conserved());
+    assert_eq!(
+        soft_r.contribs_delivered, net_r.contribs_delivered,
+        "merging must not lose contributions"
+    );
+    assert_eq!(
+        soft_r.value_delivered, net_r.value_delivered,
+        "merged value sums must match the unmerged transport"
+    );
+    assert!(
+        net_r.root_wire_bytes < soft_r.root_wire_bytes,
+        "root bytes: in-network {} vs software {}",
+        net_r.root_wire_bytes,
+        soft_r.root_wire_bytes
+    );
+    assert!(net_r.partial_prs_at_root < soft_r.partial_prs_at_root);
+}
+
+#[test]
 fn cross_node_concatenation_happens_at_the_switch() {
     // Nodes 0-3 each send one read to node 5 at the same instant. NIC
     // concatenators cannot merge them (different sources), but the ToR

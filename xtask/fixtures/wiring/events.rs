@@ -4,6 +4,7 @@ pub enum Event {
     HostIssue { node: u32 },
     NicExpire { node: u32 },
     PacketAtSwitch { switch: u32 },
+    ReduceExpire { switch: u32 },
     FabricTick,
 }
 
@@ -18,6 +19,7 @@ impl Event {
         match *self {
             Event::HostIssue { node } | Event::NicExpire { node } => Port::Node(node),
             Event::PacketAtSwitch { switch } => Port::Rack(switch),
+            Event::ReduceExpire { switch } => Port::Rack(switch),
             Event::FabricTick => Port::Fabric,
         }
     }

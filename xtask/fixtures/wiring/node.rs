@@ -5,6 +5,7 @@ pub fn handle(ev: &Event) {
         Event::HostIssue { .. } => {}
         Event::NicExpire { .. } => {}
         Event::PacketAtSwitch { .. } => {}
+        Event::ReduceExpire { .. } => {}
         _ => {}
     }
 }

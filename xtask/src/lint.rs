@@ -595,6 +595,42 @@ mod tests {
     }
 
     #[test]
+    fn or_pattern_port_arms_route_every_variant() {
+        // The production events.rs routes the rack timer variants
+        // (SwitchConcatExpire, ReduceExpire) through one or-pattern arm
+        // with PacketAtSwitch; the pass must credit every variant in
+        // such an arm, not just the first.
+        let (e, d, n) = wiring_fixture();
+        let e = e.replace(
+            "Event::PacketAtSwitch { switch } => Port::Rack(switch),\n            \
+             Event::ReduceExpire { switch } => Port::Rack(switch),",
+            "Event::PacketAtSwitch { switch } | Event::ReduceExpire { switch } => \
+             Port::Rack(switch),",
+        );
+        assert!(
+            e.contains("| Event::ReduceExpire"),
+            "replacement must apply"
+        );
+        let diags = run_wiring(&e, &d, &n);
+        assert!(diags.is_empty(), "{diags:#?}");
+    }
+
+    #[test]
+    fn unreferenced_timer_variant_fails_wiring() {
+        // A routed-but-never-handled timer variant (the shape a dropped
+        // ReduceExpire handler would take) must be flagged.
+        let (e, d, n) = wiring_fixture();
+        let n: String = n
+            .lines()
+            .filter(|l| !l.contains("Event::ReduceExpire"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let diags = run_wiring(&e, &d, &n);
+        assert_eq!(diags.len(), 1, "{diags:#?}");
+        assert!(diags[0].message.contains("ReduceExpire"), "{}", diags[0]);
+    }
+
+    #[test]
     fn unhandled_event_variant_fails_wiring() {
         let (e, d, n) = wiring_fixture();
         let n: String = n

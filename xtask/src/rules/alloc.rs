@@ -25,6 +25,8 @@ const COLD_FNS: &[&str] = &[
     "with_capacity",
     "build_nodes",
     "build_racks",
+    "for_rack",
+    "for_nic",
     "into_report",
     "attach_tracer",
     "audit_end_of_run",
